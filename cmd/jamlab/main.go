@@ -1,0 +1,432 @@
+// Command jamlab is the host-side control console of §2.5 — the "reactive
+// jamming event builder" — reimagined as a scriptable CLI. It drives a
+// simulated platform: configure detectors and jammer personalities exactly
+// as the paper's GNU Radio Companion GUI does (every command maps to user
+// register-bus writes), inject test traffic, and read back the host
+// feedback counters.
+//
+// Commands (one per line on stdin, or as trailing arguments joined by ';'):
+//
+//	detect wifi-short <fa/s>      arm xcorr with the 802.11g STS template
+//	detect wifi-long <fa/s>       arm xcorr with the 802.11g LTS template
+//	detect wimax <cell> <segment> arm xcorr+energy fusion for 802.16e
+//	detect energy <dB>            arm the energy differentiator alone
+//	personality <wgn|replay|host> <uptime> <delay> <gain>
+//	inject wifi <mbps> <bytes> <count>   modulate+stream 802.11g frames
+//	inject wifib <bytes> <count>         modulate+stream 802.11b DSSS frames
+//	inject wimax <count>                 stream WiMAX downlink frames
+//	inject idle <ms>                     stream noise-floor samples
+//	record <file>                 start recording jammer TX to an IQ capture
+//	save                          finalize the recording
+//	replay <file>                 stream a recorded capture into the detector
+//	timelines                     print the Fig. 5 latency budget
+//	stats                         print host feedback counters
+//	reset                         clear counters and datapath state
+//	quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/capture"
+	"repro/internal/dsp"
+	"repro/internal/wifi"
+	"repro/internal/wifib"
+	"repro/internal/wimax"
+)
+
+type console struct {
+	jam  *reactivejam.Framework
+	rng  *rand.Rand
+	out  io.Writer
+	rate int // current source rate
+
+	rec     *capture.Recorder
+	recPath string
+}
+
+func main() {
+	c := &console{
+		jam:  reactivejam.New(),
+		rng:  rand.New(rand.NewSource(1)),
+		out:  os.Stdout,
+		rate: 25_000_000,
+	}
+	var in io.Reader = os.Stdin
+	if len(os.Args) > 1 {
+		in = strings.NewReader(strings.ReplaceAll(strings.Join(os.Args[1:], " "), ";", "\n"))
+	}
+	sc := bufio.NewScanner(in)
+	fmt.Fprintln(c.out, "jamlab — reactive jamming event builder (type 'quit' to exit)")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return
+		}
+		if err := c.eval(line); err != nil {
+			fmt.Fprintf(c.out, "error: %v\n", err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func (c *console) eval(line string) error {
+	f := strings.Fields(line)
+	switch f[0] {
+	case "detect":
+		return c.detect(f[1:])
+	case "personality":
+		return c.personality(f[1:])
+	case "inject":
+		return c.inject(f[1:])
+	case "timelines":
+		tl := c.jam.Timelines()
+		fmt.Fprintf(c.out, "Ten_det %v  Txcorr_det %v  Tinit %v  Tresp(en) %v  Tresp(xc) %v  Tjam %v\n",
+			tl.EnergyDetect, tl.XCorrDetect, tl.TXInit,
+			tl.ResponseEnergy, tl.ResponseXCorr, tl.JamBurst)
+		return nil
+	case "stats":
+		st := c.jam.Stats()
+		fmt.Fprintf(c.out, "samples %d  xcorr %d  energy-high %d  energy-low %d  triggers %d  jam-samples %d\n",
+			st.Samples, st.XCorrDetections, st.EnergyHighDetections,
+			st.EnergyLowDetections, st.JamTriggers, st.JamSamples)
+		return nil
+	case "record":
+		if len(f) < 2 {
+			return fmt.Errorf("record <file>")
+		}
+		rec, err := capture.NewRecorder(capture.Header{
+			SampleRateHz: 25_000_000,
+			CenterFreqHz: 2.484e9,
+		})
+		if err != nil {
+			return err
+		}
+		c.rec, c.recPath = rec, f[1]
+		fmt.Fprintf(c.out, "recording jammer TX to %s\n", c.recPath)
+		return nil
+	case "save":
+		if c.rec == nil {
+			return fmt.Errorf("no recording in progress")
+		}
+		file, err := os.Create(c.recPath)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		if err := c.rec.Finalize(file); err != nil {
+			return err
+		}
+		fmt.Fprintf(c.out, "saved %d samples to %s\n", c.rec.Samples(), c.recPath)
+		c.rec = nil
+		return nil
+	case "replay":
+		if len(f) < 2 {
+			return fmt.Errorf("replay <file>")
+		}
+		file, err := os.Open(f[1])
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		h, samples, err := capture.Read(file)
+		if err != nil {
+			return err
+		}
+		if err := c.setRate(int(h.SampleRateHz)); err != nil {
+			return err
+		}
+		if _, err := c.process(samples); err != nil {
+			return err
+		}
+		fmt.Fprintf(c.out, "replayed %d samples at %d S/s\n", len(samples), h.SampleRateHz)
+		return nil
+	case "reset":
+		c.jam.ResetStats()
+		fmt.Fprintln(c.out, "counters cleared")
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", f[0])
+	}
+}
+
+func (c *console) detect(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("detect needs a mode")
+	}
+	switch args[0] {
+	case "wifi-short", "wifi-long":
+		fa := 0.1
+		if len(args) > 1 {
+			v, err := strconv.ParseFloat(args[1], 64)
+			if err != nil {
+				return err
+			}
+			fa = v
+		}
+		if err := c.setRate(wifi.SampleRate); err != nil {
+			return err
+		}
+		if args[0] == "wifi-short" {
+			if err := c.jam.DetectWiFiShortPreamble(fa); err != nil {
+				return err
+			}
+		} else if err := c.jam.DetectWiFiLongPreamble(fa); err != nil {
+			return err
+		}
+		fmt.Fprintf(c.out, "armed %s template, FA target %g/s\n", args[0], fa)
+		return nil
+	case "wimax":
+		if len(args) < 3 {
+			return fmt.Errorf("detect wimax <cellID> <segment>")
+		}
+		cell, err := strconv.Atoi(args[1])
+		if err != nil {
+			return err
+		}
+		seg, err := strconv.Atoi(args[2])
+		if err != nil {
+			return err
+		}
+		if err := c.setRate(wimax.ActualSampleRate); err != nil {
+			return err
+		}
+		if err := c.jam.DetectWiMAX(cell, seg); err != nil {
+			return err
+		}
+		fmt.Fprintf(c.out, "armed WiMAX fusion detection, cell %d segment %d\n", cell, seg)
+		return nil
+	case "energy":
+		db := 10.0
+		if len(args) > 1 {
+			v, err := strconv.ParseFloat(args[1], 64)
+			if err != nil {
+				return err
+			}
+			db = v
+		}
+		if err := c.jam.DetectEnergyRise(db); err != nil {
+			return err
+		}
+		fmt.Fprintf(c.out, "armed energy-rise detection at %g dB\n", db)
+		return nil
+	default:
+		return fmt.Errorf("unknown detector %q", args[0])
+	}
+}
+
+func (c *console) personality(args []string) error {
+	if len(args) < 4 {
+		return fmt.Errorf("personality <wgn|replay|host> <uptime> <delay> <gain>")
+	}
+	var w reactivejam.Waveform
+	switch args[0] {
+	case "wgn":
+		w = reactivejam.WGN
+	case "replay":
+		w = reactivejam.Replay
+	case "host":
+		w = reactivejam.HostStream
+	default:
+		return fmt.Errorf("unknown waveform %q", args[0])
+	}
+	up, err := time.ParseDuration(args[1])
+	if err != nil {
+		return err
+	}
+	delay, err := time.ParseDuration(args[2])
+	if err != nil {
+		return err
+	}
+	gain, err := strconv.ParseFloat(args[3], 64)
+	if err != nil {
+		return err
+	}
+	lat, err := c.jam.SetPersonality(reactivejam.Personality{
+		Waveform: w, Uptime: up, Delay: delay, Gain: gain,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(c.out, "personality switched in %v of bus time\n", lat)
+	return nil
+}
+
+func (c *console) inject(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("inject needs a kind")
+	}
+	switch args[0] {
+	case "wifi":
+		if len(args) < 4 {
+			return fmt.Errorf("inject wifi <mbps> <bytes> <count>")
+		}
+		mbps, err := strconv.Atoi(args[1])
+		if err != nil {
+			return err
+		}
+		nbytes, err := strconv.Atoi(args[2])
+		if err != nil {
+			return err
+		}
+		count, err := strconv.Atoi(args[3])
+		if err != nil {
+			return err
+		}
+		var rate wifi.Rate
+		found := false
+		for _, r := range wifi.AllRates {
+			if r.Mbps() == mbps {
+				rate, found = r, true
+			}
+		}
+		if !found {
+			return fmt.Errorf("no %d Mbps OFDM rate", mbps)
+		}
+		if err := c.setRate(wifi.SampleRate); err != nil {
+			return err
+		}
+		jammed := 0
+		for i := 0; i < count; i++ {
+			psdu := wifi.AppendFCS(make([]byte, nbytes))
+			frame, err := wifi.Modulate(psdu, wifi.TxConfig{
+				Rate: rate, ScramblerSeed: uint8(i%126) + 1,
+			})
+			if err != nil {
+				return err
+			}
+			buf := c.pad(frame.Clone().Scale(0.3), 512)
+			tx, err := c.process(buf)
+			if err != nil {
+				return err
+			}
+			for _, s := range tx {
+				if s != 0 {
+					jammed++
+					break
+				}
+			}
+		}
+		fmt.Fprintf(c.out, "injected %d WiFi frames at %d Mbps; %d drew a jamming response\n",
+			count, mbps, jammed)
+		return nil
+	case "wifib":
+		if len(args) < 3 {
+			return fmt.Errorf("inject wifib <bytes> <count>")
+		}
+		nbytes, err := strconv.Atoi(args[1])
+		if err != nil {
+			return err
+		}
+		count, err := strconv.Atoi(args[2])
+		if err != nil {
+			return err
+		}
+		if err := c.setRate(wifib.SampleRate); err != nil {
+			return err
+		}
+		for i := 0; i < count; i++ {
+			frame, err := wifib.Modulate(make([]byte, nbytes), wifib.Rate11, uint8(i%126)+1)
+			if err != nil {
+				return err
+			}
+			if _, err := c.process(c.pad(frame.Clone().Scale(0.3), 512)); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(c.out, "injected %d 802.11b frames at 11 Mbps\n", count)
+		return nil
+	case "wimax":
+		if len(args) < 2 {
+			return fmt.Errorf("inject wimax <count>")
+		}
+		count, err := strconv.Atoi(args[1])
+		if err != nil {
+			return err
+		}
+		if err := c.setRate(wimax.ActualSampleRate); err != nil {
+			return err
+		}
+		for i := 0; i < count; i++ {
+			frame, err := wimax.DownlinkFrame(wimax.Config{CellID: 1, Segment: 0}, 16, int64(i))
+			if err != nil {
+				return err
+			}
+			buf := c.pad(frame[:20*wimax.SymbolLen].Clone().Scale(0.3), 2048)
+			if _, err := c.process(buf); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(c.out, "injected %d WiMAX downlink frames\n", count)
+		return nil
+	case "idle":
+		if len(args) < 2 {
+			return fmt.Errorf("inject idle <ms>")
+		}
+		ms, err := strconv.ParseFloat(args[1], 64)
+		if err != nil {
+			return err
+		}
+		n := int(ms / 1000 * float64(c.rate))
+		buf := make(dsp.Samples, n)
+		for i := range buf {
+			buf[i] = complex(c.rng.NormFloat64(), c.rng.NormFloat64()) * 1e-4
+		}
+		if _, err := c.process(buf); err != nil {
+			return err
+		}
+		fmt.Fprintf(c.out, "streamed %.3g ms of noise floor\n", ms)
+		return nil
+	default:
+		return fmt.Errorf("unknown inject kind %q", args[0])
+	}
+}
+
+// process streams samples through the platform, tapping the TX output into
+// an active recording.
+func (c *console) process(rx dsp.Samples) (dsp.Samples, error) {
+	tx, err := c.jam.Process(rx)
+	if err != nil {
+		return nil, err
+	}
+	if c.rec != nil {
+		c.rec.Append(tx)
+	}
+	return tx, nil
+}
+
+// pad surrounds a waveform with quiet lead/tail and a touch of noise so the
+// detectors see realistic transitions.
+func (c *console) pad(wave dsp.Samples, lead int) dsp.Samples {
+	buf := make(dsp.Samples, lead+len(wave)+lead)
+	copy(buf[lead:], wave)
+	for i := range buf {
+		buf[i] += complex(c.rng.NormFloat64(), c.rng.NormFloat64()) * 1e-4
+	}
+	return buf
+}
+
+func (c *console) setRate(hz int) error {
+	if c.rate == hz {
+		return nil
+	}
+	if err := c.jam.SetSourceRate(hz); err != nil {
+		return err
+	}
+	c.rate = hz
+	return nil
+}

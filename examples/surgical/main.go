@@ -1,0 +1,118 @@
+// Surgical jamming (paper §2.4 and §3.1): use the trigger-to-jam delay to
+// place a very short burst on specific regions of an 802.11g frame — the
+// remaining preamble, the SIGNAL field, the early data symbols — and
+// measure which region is most destructive per microsecond of jamming.
+// This is the "highly destructive ... ability to target critical
+// information contained in a wireless PHY packet, such as channel
+// estimation" attack the paper attributes to Thuente et al.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro"
+	"repro/internal/dsp"
+	"repro/internal/wifi"
+)
+
+const trials = 40
+
+func main() {
+	fmt.Println("surgical jamming: 8 µs WGN burst at increasing delay after the")
+	fmt.Println("energy trigger, against 400-byte frames at 54 Mbps, jammer 14 dB")
+	fmt.Println("below the signal at the receiver")
+	fmt.Println()
+	fmt.Printf("%12s %22s %10s\n", "delay (µs)", "burst lands on", "frame loss")
+
+	for _, delayUS := range []int{0, 4, 8, 12, 16, 24, 40, 80} {
+		loss, err := measure(time.Duration(delayUS) * time.Microsecond)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%12d %22s %9.0f%%\n", delayUS, region(delayUS), 100*loss)
+	}
+	fmt.Println()
+	fmt.Println("the burst that lands on the long training symbols (channel")
+	fmt.Println("estimation) or SIGNAL field kills frames that the same burst")
+	fmt.Println("cannot kill once the receiver is equalizing payload symbols.")
+}
+
+// region describes where a burst triggered ~1.3 µs into the frame lands
+// after the given extra delay (frame: 8 µs STS, 8 µs LTS, 4 µs SIGNAL).
+func region(delayUS int) string {
+	at := 1.3 + float64(delayUS)
+	switch {
+	case at < 8:
+		return "short preamble"
+	case at < 16:
+		return "LTS / channel est"
+	case at < 20:
+		return "SIGNAL field"
+	case at < 60:
+		return "early data symbols"
+	default:
+		return "frame tail"
+	}
+}
+
+func measure(delay time.Duration) (float64, error) {
+	jam := reactivejam.New()
+	if err := jam.DetectEnergyRise(10); err != nil {
+		return 0, err
+	}
+	if err := jam.SetSourceRate(wifi.SampleRate); err != nil {
+		return 0, err
+	}
+	if _, err := jam.SetPersonality(reactivejam.Personality{
+		Waveform: reactivejam.WGN,
+		Uptime:   8 * time.Microsecond,
+		Delay:    delay,
+		Gain:     1,
+	}); err != nil {
+		return 0, err
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	const sigAmp = 0.5
+	jamAmp := sigAmp / 5 // 14 dB below the signal at the victim receiver
+	lost := 0
+	for tr := 0; tr < trials; tr++ {
+		payload := make([]byte, 400)
+		rng.Read(payload)
+		frame, err := wifi.Modulate(wifi.AppendFCS(payload),
+			wifi.TxConfig{Rate: wifi.Rate54, ScramblerSeed: uint8(tr%126) + 1})
+		if err != nil {
+			return 0, err
+		}
+		air := make(dsp.Samples, 512+len(frame)+512)
+		copy(air[512:], frame)
+		air.Scale(sigAmp)
+
+		// The jammer hears the same waveform; its burst lands back at the
+		// victim receiver (resampled 25→20 MSPS) scaled to jamAmp.
+		tx, err := jam.Process(air)
+		if err != nil {
+			return 0, err
+		}
+		burst := dsp.Resample(tx, 4, 5)
+		victim := air.Clone()
+		for i := range victim {
+			if i < len(burst) {
+				victim[i] += burst[i] * complex(jamAmp, 0)
+			}
+			victim[i] += complex(rng.NormFloat64(), rng.NormFloat64()) * 1e-3
+		}
+		res, err := wifi.Demodulate(victim, 512+160, 512+224)
+		ok := err == nil
+		if ok {
+			_, ok = wifi.CheckFCS(res.PSDU)
+		}
+		if !ok {
+			lost++
+		}
+	}
+	return float64(lost) / trials, nil
+}

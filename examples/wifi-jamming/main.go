@@ -1,0 +1,61 @@
+// WiFi jamming study (paper §4, Figs. 10-11 in miniature): run iperf-style
+// UDP bandwidth tests between the AP and client of the 5-port wired testbed
+// while the jammer sweeps its effective power, for the three jammer types
+// the paper compares — continuous, reactive with 0.1 ms uptime, and
+// reactive with 0.01 ms uptime.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/iperf"
+)
+
+func main() {
+	base, err := experiments.BaselineBandwidthKbps(40, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("no-jammer baseline: %.1f Mbps of %.0f Mbps offered (paper: ~29 of 54)\n\n",
+		base/1000, experiments.MaxUDPTheoretical()/1000)
+
+	types := []struct {
+		name   string
+		mode   iperf.JamMode
+		uptime time.Duration
+	}{
+		{"continuous", iperf.JamContinuous, 0},
+		{"reactive 0.1ms uptime", iperf.JamReactive, 100 * time.Microsecond},
+		{"reactive 0.01ms uptime", iperf.JamReactive, 10 * time.Microsecond},
+	}
+	for _, ty := range types {
+		cfg := experiments.DefaultJamSweep(ty.mode, ty.uptime)
+		cfg.Packets = 25
+		cfg.Attenuations = []float64{0, 10, 15, 20, 25, 30, 35, 45}
+		pts, err := experiments.RunJamSweep(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", ty.name)
+		fmt.Printf("  %10s %10s %12s %6s %8s %s\n",
+			"SIR(dB)", "BW(Mbps)", "PRR", "rate", "on-air", "link")
+		for _, p := range pts {
+			link := "up"
+			if p.Result.LinkDropped {
+				link = "LOST"
+			}
+			fmt.Printf("  %10.1f %10.2f %12.2f %6v %7.1f%% %s\n",
+				p.Result.SIRdB, p.Result.BandwidthKbps/1000, p.Result.PRR,
+				p.Result.FinalRate, 100*p.Result.JamAirtimeFrac, link)
+		}
+		fmt.Println()
+	}
+	fmt.Println("reading the table: the continuous jammer kills the link at the")
+	fmt.Println("weakest power (highest SIR) by tripping carrier sense; the 0.1 ms")
+	fmt.Println("reactive jammer needs ~17 dB more instantaneous power but is on the")
+	fmt.Println("air a third of the time; the 0.01 ms jammer needs the most power")
+	fmt.Println("but transmits for only ~6% of the air time.")
+}

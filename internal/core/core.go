@@ -1,0 +1,257 @@
+// Package core implements the custom DSP core of Fig. 2 — the paper's
+// primary contribution. It nests the cross-correlator, the energy
+// differentiator, the three-stage trigger state machine, and the jamming
+// transmit controller into one sample-clocked datapath, exposes the whole
+// configuration through the UHD user register bus, and counts detection
+// events for host feedback ("Synchro Flags" in Fig. 1).
+//
+// One call to ProcessSample corresponds to one 25 MSPS baseband sample
+// entering the DDC chain: the sample is quantized to the 16-bit I/Q the
+// FPGA sees, both detectors run in parallel, their (edge-detected) outputs
+// drive the trigger state machine, and the transmit controller produces the
+// jamming output for the same tick.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/fixed"
+	"repro/internal/fpga"
+	"repro/internal/jammer"
+	"repro/internal/trigger"
+	"repro/internal/xcorr"
+)
+
+// FusionMode selects how detector events combine into a jam trigger.
+type FusionMode uint8
+
+// Fusion modes of the trigger builder.
+const (
+	// FusionSequence requires the configured events in order within the
+	// window (the hardware three-stage state machine).
+	FusionSequence FusionMode = iota
+	// FusionAny fires on any one of the configured events (OR), the
+	// combination used for the WiMAX experiment of §5.
+	FusionAny
+)
+
+// Stats carries the host-feedback counters of the core.
+type Stats struct {
+	// Samples is the number of baseband samples processed.
+	Samples uint64
+	// XCorrDetections counts cross-correlator trigger edges.
+	XCorrDetections uint64
+	// EnergyHighDetections and EnergyLowDetections count energy edges.
+	EnergyHighDetections uint64
+	EnergyLowDetections  uint64
+	// JamTriggers counts serviced jamming events.
+	JamTriggers uint64
+	// JamSamples counts transmitted jamming samples.
+	JamSamples uint64
+}
+
+// Core is the complete custom DSP core. Construct with New. Core is not
+// safe for concurrent use from multiple goroutines; the register bus it
+// exposes is.
+type Core struct {
+	bus *fpga.RegisterBus
+
+	xc  *xcorr.Correlator
+	en  *energy.Differentiator
+	sm  *trigger.StateMachine
+	jam *jammer.Controller
+
+	edgeX *trigger.EdgeDetector
+	edgeH *trigger.EdgeDetector
+	edgeL *trigger.EdgeDetector
+
+	clock fpga.Clock
+
+	fusion FusionMode
+	events []trigger.Event
+
+	stats Stats
+
+	antenna uint8
+}
+
+// EdgeHoldoff is the default detector re-trigger holdoff in samples,
+// preventing one preamble from registering as a burst of detections.
+const EdgeHoldoff = 16
+
+// New returns a core with detectors idle (no coefficients, no thresholds),
+// a single-stage energy-high trigger, and the jammer in its defaults.
+func New() *Core {
+	c := &Core{
+		bus:    fpga.NewRegisterBus(),
+		xc:     xcorr.New(),
+		en:     energy.New(),
+		sm:     trigger.New(trigger.EventEnergyHigh),
+		jam:    jammer.New(),
+		edgeX:  trigger.NewEdgeDetector(EdgeHoldoff),
+		edgeH:  trigger.NewEdgeDetector(EdgeHoldoff),
+		edgeL:  trigger.NewEdgeDetector(EdgeHoldoff),
+		fusion: FusionSequence,
+		events: []trigger.Event{trigger.EventEnergyHigh},
+	}
+	c.installRegisterDecode()
+	return c
+}
+
+// Bus returns the user register bus for host-side programming.
+func (c *Core) Bus() *fpga.RegisterBus { return c.bus }
+
+// XCorr exposes the cross-correlator block (for direct configuration in
+// tests and characterization runs).
+func (c *Core) XCorr() *xcorr.Correlator { return c.xc }
+
+// Energy exposes the energy differentiator block.
+func (c *Core) Energy() *energy.Differentiator { return c.en }
+
+// Jammer exposes the transmit controller block.
+func (c *Core) Jammer() *jammer.Controller { return c.jam }
+
+// SetFusion configures the trigger combination directly (bypassing the
+// register bus), mirroring what RegTriggerConfig decodes to.
+func (c *Core) SetFusion(mode FusionMode, events []trigger.Event, window uint64) error {
+	if len(events) == 0 || len(events) > trigger.MaxStages {
+		return fmt.Errorf("core: need 1..%d trigger events", trigger.MaxStages)
+	}
+	if mode == FusionSequence {
+		if err := c.sm.Configure(events, window); err != nil {
+			return err
+		}
+	}
+	c.fusion = mode
+	c.events = append(c.events[:0], events...)
+	return nil
+}
+
+// Antenna returns the antenna-control GPIO lines (bits 16-19 of
+// RegJammerGainAnt).
+func (c *Core) Antenna() uint8 { return c.antenna }
+
+// Stats returns a snapshot of the host-feedback counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// ResetStats clears the feedback counters only.
+func (c *Core) ResetStats() { c.stats = Stats{} }
+
+// ResetDatapath clears all sample state (detector histories, trigger FSM,
+// jammer state, counters) while keeping the register configuration.
+func (c *Core) ResetDatapath() {
+	c.xc.Reset()
+	c.en.Reset()
+	c.sm.ResetState()
+	c.jam.Reset()
+	c.edgeX.Reset()
+	c.edgeH.Reset()
+	c.edgeL.Reset()
+	c.stats = Stats{}
+	c.clock = fpga.Clock{}
+}
+
+// Clock returns the core's hardware clock (advances 4 cycles per sample).
+func (c *Core) Clock() *fpga.Clock { return &c.clock }
+
+// ProcessSample consumes one receive-path baseband sample and returns the
+// transmit-path output for the same sample tick.
+func (c *Core) ProcessSample(rx complex128) (tx complex128) {
+	c.clock.AdvanceSamples(1)
+	c.stats.Samples++
+	q := fixed.Quantize(rx)
+
+	_, xcLevel := c.xc.Process(q)
+	enHigh, enLow := c.en.Process(q)
+
+	in := trigger.Inputs{
+		XCorr:      c.edgeX.Process(xcLevel),
+		EnergyHigh: c.edgeH.Process(enHigh),
+		EnergyLow:  c.edgeL.Process(enLow),
+	}
+	if in.XCorr {
+		c.stats.XCorrDetections++
+	}
+	if in.EnergyHigh {
+		c.stats.EnergyHighDetections++
+	}
+	if in.EnergyLow {
+		c.stats.EnergyLowDetections++
+	}
+
+	var fire bool
+	switch c.fusion {
+	case FusionAny:
+		for _, e := range c.events {
+			switch e {
+			case trigger.EventXCorr:
+				fire = fire || in.XCorr
+			case trigger.EventEnergyHigh:
+				fire = fire || in.EnergyHigh
+			case trigger.EventEnergyLow:
+				fire = fire || in.EnergyLow
+			}
+		}
+	default:
+		fire = c.sm.Process(in)
+	}
+	if fire {
+		c.stats.JamTriggers++
+	}
+
+	tx = c.jam.Process(q, fire)
+	if tx != 0 {
+		c.stats.JamSamples++
+	}
+	return tx
+}
+
+// ProcessBuffer runs a whole receive buffer through the core, returning the
+// transmit buffer of equal length.
+func (c *Core) ProcessBuffer(rx []complex128) []complex128 {
+	tx := make([]complex128, len(rx))
+	for i, s := range rx {
+		tx[i] = c.ProcessSample(s)
+	}
+	return tx
+}
+
+// Resources returns the total FPGA utilization of the synthesized core.
+func (c *Core) Resources() fpga.Resources {
+	return c.xc.Resources().Add(c.en.Resources()).Add(c.jam.Resources())
+}
+
+// Timelines reports the reactive-jamming latency budget of Fig. 5 / §3.1
+// for the current jammer settings.
+type Timelines struct {
+	// TenDet is the worst-case energy detection latency (32 samples).
+	TenDet time.Duration
+	// TxcorrDet is the cross-correlation detection latency (64 samples).
+	TxcorrDet time.Duration
+	// TInit is the trigger-to-RF turnaround (8 clock cycles).
+	TInit time.Duration
+	// TJam is the configured jamming burst duration.
+	TJam time.Duration
+	// TRespEnergy and TRespXCorr are the total system response times for
+	// each detection path (detection + init).
+	TRespEnergy time.Duration
+	TRespXCorr  time.Duration
+}
+
+// Timelines computes the latency budget from the block constants and the
+// live jammer configuration.
+func (c *Core) Timelines() Timelines {
+	ten := fpga.CyclesToDuration(energy.DetectionCycles)
+	txc := fpga.CyclesToDuration(xcorr.DetectionCycles)
+	tin := fpga.CyclesToDuration(jammer.InitCycles)
+	return Timelines{
+		TenDet:      ten,
+		TxcorrDet:   txc,
+		TInit:       tin,
+		TJam:        fpga.SamplesToDuration(c.jam.UptimeSamples()),
+		TRespEnergy: ten + tin,
+		TRespXCorr:  txc + tin,
+	}
+}

@@ -1,0 +1,177 @@
+package defense
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/wifi"
+)
+
+func obsRun(d *Detector, n int, delivered bool, rssi float64, busy bool) {
+	for i := 0; i < n; i++ {
+		d.Observe(Observation{Delivered: delivered, RSSIdB: rssi, BusyBefore: busy})
+	}
+}
+
+func TestVerdictClean(t *testing.T) {
+	d := NewDetector(50)
+	obsRun(d, 50, true, 30, false)
+	if v := d.Verdict(); v != VerdictClean {
+		t.Errorf("verdict %v, want clean", v)
+	}
+}
+
+func TestVerdictWeakSignal(t *testing.T) {
+	d := NewDetector(50)
+	obsRun(d, 50, false, 5, false)
+	if v := d.Verdict(); v != VerdictWeakSignal {
+		t.Errorf("verdict %v, want weak-signal", v)
+	}
+}
+
+func TestVerdictReactiveJamming(t *testing.T) {
+	// Strong signal, idle medium, dead frames: the consistency violation.
+	d := NewDetector(50)
+	obsRun(d, 50, false, 30, false)
+	if v := d.Verdict(); v != VerdictReactiveJamming {
+		t.Errorf("verdict %v, want reactive-jamming", v)
+	}
+}
+
+func TestVerdictContinuousJamming(t *testing.T) {
+	d := NewDetector(50)
+	obsRun(d, 50, false, 30, true)
+	if v := d.Verdict(); v != VerdictContinuousJamming {
+		t.Errorf("verdict %v, want continuous-jamming", v)
+	}
+}
+
+func TestSlidingWindowForgets(t *testing.T) {
+	d := NewDetector(20)
+	obsRun(d, 20, false, 30, false) // jammed era
+	obsRun(d, 20, true, 30, false)  // jammer gone
+	if v := d.Verdict(); v != VerdictClean {
+		t.Errorf("verdict %v after recovery, want clean", v)
+	}
+	if d.Count() != 20 {
+		t.Errorf("window holds %d, want 20", d.Count())
+	}
+}
+
+func TestEmptyDetector(t *testing.T) {
+	d := NewDetector(0) // clamps to 1
+	if d.Verdict() != VerdictClean {
+		t.Error("empty detector should report clean")
+	}
+	pdr, rssi, busy := d.Stats()
+	if pdr != 0 || rssi != 0 || busy != 0 {
+		t.Error("empty stats nonzero")
+	}
+}
+
+func TestDiagnoseAggregates(t *testing.T) {
+	cases := []struct {
+		pdr, rssi, busy float64
+		want            Diagnosis
+	}{
+		{1.0, 34, 0, VerdictClean},
+		{0.0, 34, 1.0, VerdictContinuousJamming},
+		{0.0, 34, 0.1, VerdictReactiveJamming},
+		{0.1, 5, 0.0, VerdictWeakSignal},
+	}
+	for _, c := range cases {
+		if got := DiagnoseAggregates(c.pdr, c.rssi, c.busy); got != c.want {
+			t.Errorf("Diagnose(%v,%v,%v) = %v, want %v", c.pdr, c.rssi, c.busy, got, c.want)
+		}
+	}
+}
+
+func TestConsistencyModel(t *testing.T) {
+	if !Consistent(1.0, 30) {
+		t.Error("perfect delivery at strong RSSI should be consistent")
+	}
+	if Consistent(0.0, 30) {
+		t.Error("zero delivery at strong RSSI should be inconsistent")
+	}
+	if !Consistent(0.05, 2) {
+		t.Error("bad delivery at weak RSSI is consistent (just a bad link)")
+	}
+	if e := ExpectedPDRFromRSSI(9); e <= 0.05 || e >= 0.99 {
+		t.Errorf("mid-range expectation %v", e)
+	}
+}
+
+func TestDiagnosisStrings(t *testing.T) {
+	for d, want := range map[Diagnosis]string{
+		VerdictClean: "clean", VerdictWeakSignal: "weak-signal",
+		VerdictContinuousJamming: "continuous-jamming",
+		VerdictReactiveJamming:   "reactive-jamming",
+		Diagnosis(9):             "Diagnosis(9)",
+	} {
+		if d.String() != want {
+			t.Errorf("%d.String() = %q", d, d.String())
+		}
+	}
+}
+
+func TestIJamValidation(t *testing.T) {
+	if _, err := IJamExchange(nil, IJamConfig{Rate: wifi.Rate12}); err == nil {
+		t.Error("empty payload accepted")
+	}
+	if _, err := IJamExchange([]byte{1}, IJamConfig{Rate: wifi.Rate(99)}); err == nil {
+		t.Error("bogus rate accepted")
+	}
+	if _, err := IJamStudy([]float64{0}, 0, IJamConfig{Rate: wifi.Rate12}); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestIJamLegitAlwaysRecovers(t *testing.T) {
+	cfg := IJamConfig{Rate: wifi.Rate54, JamToSignalDB: 0, NoiseSNRdB: 30, Seed: 1}
+	for trial := 0; trial < 5; trial++ {
+		cfg.Seed = int64(trial) * 77
+		psdu := []byte(fmt.Sprintf("the secret payload %d", trial))
+		res, err := IJamExchange(psdu, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.LegitOK {
+			t.Errorf("trial %d: intended receiver failed", trial)
+		}
+	}
+}
+
+func TestIJamDeniesStrongEnergyEavesdropper(t *testing.T) {
+	// With the complementary per-sample masking, the eavesdropper's
+	// per-sample energy test stays far from reliable at the calibrated
+	// 0 dB ratio, corrupting its reconstruction, while the legit receiver
+	// always recovers.
+	pts, err := IJamStudy([]float64{0, 15}, 6,
+		IJamConfig{Rate: wifi.Rate54, NoiseSNRdB: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.LegitRate < 1 {
+			t.Errorf("jam %v dB: legit rate %v, want 1.0", p.JamToSignalDB, p.LegitRate)
+		}
+	}
+	// Calibrated (0 dB) jamming: the per-sample energy test is near chance
+	// (≥25% wrong picks) and the eavesdropper's 64-QAM reconstruction dies.
+	if pts[0].EvePickErrorRate < 0.2 {
+		t.Errorf("pick-error at 0 dB = %v, want near-chance", pts[0].EvePickErrorRate)
+	}
+	if pts[0].EveRate > 0 {
+		t.Error("eavesdropper recovered the payload under calibrated jamming")
+	}
+	// Over-loud (+15 dB) jamming leaks the mask: the energy test becomes
+	// accurate and the eavesdropper recovers — the calibration lesson of
+	// the original iJam work.
+	if pts[1].EvePickErrorRate >= pts[0].EvePickErrorRate {
+		t.Errorf("pick-error should drop at loud jamming: %v vs %v",
+			pts[1].EvePickErrorRate, pts[0].EvePickErrorRate)
+	}
+	if pts[1].EveRate == 0 {
+		t.Error("over-loud jamming should leak the mask (eavesdropper wins)")
+	}
+}

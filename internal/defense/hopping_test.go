@@ -1,0 +1,89 @@
+package defense
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHoppingValidation(t *testing.T) {
+	if _, err := SimulateHopping(HopConfig{Channels: 1, DwellTime: time.Second}, 10); err == nil {
+		t.Error("single channel accepted")
+	}
+	if _, err := SimulateHopping(HopConfig{Channels: 4}, 10); err == nil {
+		t.Error("zero dwell accepted")
+	}
+	if _, err := SimulateHopping(DefaultPursuit(4, time.Second, 1), 0); err == nil {
+		t.Error("zero hops accepted")
+	}
+}
+
+func TestSlowHopperGetsJammed(t *testing.T) {
+	// Dwelling 100 ms on one of 4 channels: the jammer's ~1.3 ms per-probe
+	// loop finds the victim quickly and jams most of the dwell.
+	res, err := SimulateHopping(DefaultPursuit(4, 100*time.Millisecond, 1), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JammedFrac < 0.9 {
+		t.Errorf("slow hopper jammed %.2f of air time, want > 0.9", res.JammedFrac)
+	}
+}
+
+func TestFastHopperEvades(t *testing.T) {
+	// Dwelling 3 ms: the scan loop (up to 4 probes × 1.3 ms) usually can't
+	// acquire before the victim moves.
+	res, err := SimulateHopping(DefaultPursuit(4, 3*time.Millisecond, 1), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JammedFrac > 0.35 {
+		t.Errorf("fast hopper jammed %.2f of air time, want < 0.35", res.JammedFrac)
+	}
+}
+
+func TestMoreChannelsHelpTheVictim(t *testing.T) {
+	few, err := SimulateHopping(DefaultPursuit(2, 10*time.Millisecond, 1), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := SimulateHopping(DefaultPursuit(16, 10*time.Millisecond, 1), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.JammedFrac >= few.JammedFrac {
+		t.Errorf("16 channels (%.2f) should beat 2 channels (%.2f)",
+			many.JammedFrac, few.JammedFrac)
+	}
+}
+
+func TestRandomGuessingWorseOrEqualToScan(t *testing.T) {
+	cfg := DefaultPursuit(8, 20*time.Millisecond, 3)
+	scan, err := SimulateHopping(cfg, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Scanning = false
+	random, err := SimulateHopping(cfg, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A systematic sweep never re-probes a channel within a cycle, so its
+	// acquisition is at least as fast on average.
+	if scan.MeanAcquisition > random.MeanAcquisition+2*time.Millisecond {
+		t.Errorf("scan acquisition %v much worse than random %v",
+			scan.MeanAcquisition, random.MeanAcquisition)
+	}
+}
+
+func TestAcquisitionCappedByDwell(t *testing.T) {
+	res, err := SimulateHopping(DefaultPursuit(64, 2*time.Millisecond, 2), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanAcquisition > 2*time.Millisecond {
+		t.Errorf("acquisition %v exceeds dwell", res.MeanAcquisition)
+	}
+	if res.Hops != 100 {
+		t.Errorf("hops = %d", res.Hops)
+	}
+}

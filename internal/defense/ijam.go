@@ -1,0 +1,232 @@
+package defense
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dsp"
+	"repro/internal/wifi"
+)
+
+// iJam-style self-jamming secrecy (Gollakota & Katabi [5,6]): the
+// transmitter sends every OFDM data symbol twice; the intended receiver
+// uses its own full-duplex radio to jam, at every sample position, exactly
+// one of the two copies — chosen by a secret per-sample mask. Both copies
+// therefore carry the same amount of jamming energy (defeating symbol-level
+// energy comparison), but the receiver, who knows the mask, stitches a
+// completely clean symbol out of the unjammed halves. An eavesdropper must
+// guess per sample; with the jamming power near the signal level the
+// per-sample energy test it can run is barely better than chance.
+
+// IJamConfig parameterizes one exchange.
+type IJamConfig struct {
+	// Rate is the OFDM data rate of the protected frame. Dense
+	// constellations (Rate54) are the natural fit: the scheme denies the
+	// eavesdropper clean samples, and 64-QAM cannot survive the residue,
+	// whereas a heavily-coded QPSK frame can shrug off the eavesdropper's
+	// picking errors via the Viterbi decoder.
+	Rate wifi.Rate
+	// JamToSignalDB is the receiver's self-jamming power relative to the
+	// received signal power. Near 0 dB hides which copy is jammed; far
+	// above it the energy difference leaks the choice.
+	JamToSignalDB float64
+	// NoiseSNRdB is the channel SNR for both receiver and eavesdropper.
+	NoiseSNRdB float64
+	// Seed drives the receiver's secret copy choices and all noise.
+	Seed int64
+}
+
+// IJamResult reports one exchange.
+type IJamResult struct {
+	// LegitOK: the intended receiver recovered the exact payload.
+	LegitOK bool
+	// EveOK: the eavesdropper (picking the lower-energy sample of each
+	// pair position) recovered the exact payload.
+	EveOK bool
+	// EveSampleErrors counts sample positions where the eavesdropper
+	// picked the jammed copy.
+	EveSampleErrors int
+	// Samples is the number of duplicated sample positions.
+	Samples int
+}
+
+// IJamExchange runs one protected frame through the scheme.
+func IJamExchange(psdu []byte, cfg IJamConfig) (*IJamResult, error) {
+	if len(psdu) == 0 {
+		return nil, fmt.Errorf("defense: empty payload")
+	}
+	if !cfg.Rate.Valid() {
+		return nil, fmt.Errorf("defense: invalid rate %v", cfg.Rate)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	frame, err := wifi.Modulate(psdu, wifi.TxConfig{
+		Rate:          cfg.Rate,
+		ScramblerSeed: uint8(rng.Intn(126)) + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Split: preamble+SIGNAL head, then the data symbols.
+	head := wifi.ShortPreambleLen + wifi.LongPreambleLen + wifi.SymbolLen
+	data := frame[head:]
+	nsym := len(data) / wifi.SymbolLen
+	if nsym == 0 {
+		return nil, fmt.Errorf("defense: no data symbols")
+	}
+
+	// On-air stream: head, then each symbol twice.
+	air := frame[:head].Clone()
+	for s := 0; s < nsym; s++ {
+		sym := data[s*wifi.SymbolLen : (s+1)*wifi.SymbolLen]
+		air = append(air, sym...)
+		air = append(air, sym...)
+	}
+
+	// The receiver's secret: at every sample position of every pair, which
+	// copy gets jammed. Both copies receive N/2 jammed samples on average,
+	// so their total energies are statistically identical.
+	mask := make([][]bool, nsym) // mask[s][i]: true = first copy jammed at i
+	for s := range mask {
+		mask[s] = make([]bool, wifi.SymbolLen)
+		for i := range mask[s] {
+			mask[s][i] = rng.Intn(2) == 0
+		}
+	}
+	sigPower := frame.Power()
+	jamPower := sigPower * dsp.FromDB(cfg.JamToSignalDB)
+	jamSrc := dsp.NewNoiseSource(jamPower, cfg.Seed+11)
+	jammed := air.Clone()
+	for s := 0; s < nsym; s++ {
+		off0 := head + 2*s*wifi.SymbolLen
+		off1 := off0 + wifi.SymbolLen
+		for i := 0; i < wifi.SymbolLen; i++ {
+			if mask[s][i] {
+				jammed[off0+i] += jamSrc.Sample()
+			} else {
+				jammed[off1+i] += jamSrc.Sample()
+			}
+		}
+	}
+
+	// Channel noise for each listener.
+	noisePower := sigPower / dsp.FromDB(cfg.NoiseSNRdB)
+	rxNoise := dsp.NewNoiseSource(noisePower, cfg.Seed+22)
+	eveNoise := dsp.NewNoiseSource(noisePower, cfg.Seed+33)
+	rxAir := rxNoise.AddTo(jammed.Clone())
+	eveAir := eveNoise.AddTo(jammed.Clone())
+
+	res := &IJamResult{Samples: nsym * wifi.SymbolLen}
+
+	// Legitimate receiver: stitch each symbol from the unjammed samples.
+	legit := reassemble(rxAir, head, nsym, func(s, i int) int {
+		if mask[s][i] {
+			return 1 // first copy jammed at i, take the second
+		}
+		return 0
+	})
+	if got, err := wifi.Demodulate(legit, 0, head); err == nil {
+		res.LegitOK = equalPSDU(got.PSDU, psdu)
+	}
+
+	// Eavesdropper: per sample position, pick the lower-energy copy (the
+	// best generic strategy without the mask).
+	evePick := func(s, i int) int {
+		a := eveAir[head+2*s*wifi.SymbolLen+i]
+		b := eveAir[head+(2*s+1)*wifi.SymbolLen+i]
+		if real(b)*real(b)+imag(b)*imag(b) < real(a)*real(a)+imag(a)*imag(a) {
+			return 1
+		}
+		return 0
+	}
+	for s := 0; s < nsym; s++ {
+		for i := 0; i < wifi.SymbolLen; i++ {
+			pick := evePick(s, i)
+			jammedIdx := 1
+			if mask[s][i] {
+				jammedIdx = 0
+			}
+			if pick == jammedIdx {
+				res.EveSampleErrors++
+			}
+		}
+	}
+	eve := reassemble(eveAir, head, nsym, evePick)
+	if got, err := wifi.Demodulate(eve, 0, head); err == nil {
+		res.EveOK = equalPSDU(got.PSDU, psdu)
+	}
+	return res, nil
+}
+
+// reassemble rebuilds a standard frame from the duplicated on-air stream,
+// choosing copy pick(s, i) ∈ {0,1} for every sample position of each pair.
+func reassemble(air dsp.Samples, head, nsym int, pick func(s, i int) int) dsp.Samples {
+	out := air[:head].Clone()
+	for s := 0; s < nsym; s++ {
+		for i := 0; i < wifi.SymbolLen; i++ {
+			off := head + (2*s+pick(s, i))*wifi.SymbolLen + i
+			out = append(out, air[off])
+		}
+	}
+	return out
+}
+
+func equalPSDU(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IJamStudy sweeps the jam-to-signal ratio, reporting legit and
+// eavesdropper success rates per point — the calibration curve that shows
+// where self-jamming is both recoverable and secret.
+type IJamPoint struct {
+	JamToSignalDB float64
+	LegitRate     float64
+	EveRate       float64
+	// EvePickErrorRate is the fraction of sample positions where the
+	// energy test picked the jammed copy.
+	EvePickErrorRate float64
+}
+
+// IJamStudy runs trials exchanges per ratio point.
+func IJamStudy(ratiosDB []float64, trials int, cfg IJamConfig) ([]IJamPoint, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("defense: trials must be positive")
+	}
+	var out []IJamPoint
+	for _, r := range ratiosDB {
+		c := cfg
+		c.JamToSignalDB = r
+		var legit, eve, pickErr, pairs int
+		for t := 0; t < trials; t++ {
+			c.Seed = cfg.Seed + int64(t)*1001
+			psdu := []byte(fmt.Sprintf("secret-%03d-%v", t, r))
+			res, err := IJamExchange(psdu, c)
+			if err != nil {
+				return nil, err
+			}
+			if res.LegitOK {
+				legit++
+			}
+			if res.EveOK {
+				eve++
+			}
+			pickErr += res.EveSampleErrors
+			pairs += res.Samples
+		}
+		out = append(out, IJamPoint{
+			JamToSignalDB:    r,
+			LegitRate:        float64(legit) / float64(trials),
+			EveRate:          float64(eve) / float64(trials),
+			EvePickErrorRate: float64(pickErr) / float64(pairs),
+		})
+	}
+	return out, nil
+}

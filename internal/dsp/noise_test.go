@@ -1,0 +1,71 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNoisePowerMatchesSetting(t *testing.T) {
+	for _, p := range []float64{0.01, 1, 100} {
+		n := NewNoiseSource(p, 42)
+		b := n.Block(200000)
+		got := b.Power()
+		if math.Abs(got-p) > 0.05*p {
+			t.Errorf("noise power = %v, want %v", got, p)
+		}
+	}
+}
+
+func TestNoiseReproducible(t *testing.T) {
+	a := NewNoiseSource(1, 7).Block(64)
+	b := NewNoiseSource(1, 7).Block(64)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give identical noise")
+		}
+	}
+	c := NewNoiseSource(1, 8).Block(64)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical noise")
+	}
+}
+
+func TestNoiseZeroAndNegativePower(t *testing.T) {
+	n := NewNoiseSource(0, 1)
+	if s := n.Sample(); s != 0 {
+		t.Errorf("zero-power noise sample = %v", s)
+	}
+	n.SetPower(-5)
+	if n.Power() != 0 {
+		t.Error("negative power should clamp to 0")
+	}
+}
+
+func TestNoiseAddTo(t *testing.T) {
+	n := NewNoiseSource(1, 3)
+	x := make(Samples, 100000)
+	n.AddTo(x)
+	if p := x.Power(); math.Abs(p-1) > 0.05 {
+		t.Errorf("AddTo power = %v, want ~1", p)
+	}
+}
+
+func TestNoiseZeroMean(t *testing.T) {
+	n := NewNoiseSource(1, 9)
+	b := n.Block(200000)
+	var mean complex128
+	for _, v := range b {
+		mean += v
+	}
+	mean /= complex(float64(len(b)), 0)
+	if math.Hypot(real(mean), imag(mean)) > 0.01 {
+		t.Errorf("noise mean = %v, want ~0", mean)
+	}
+}

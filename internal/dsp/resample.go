@@ -1,0 +1,108 @@
+package dsp
+
+import "fmt"
+
+// Resampler converts a sample stream between two rates by rational
+// interpolation L / decimation M with a polyphase anti-aliasing lowpass.
+// It is how the simulator reproduces the paper's central rate mismatch: WiFi
+// frames are generated at 20 MSPS per 802.11g, while the jammer's receive
+// chain is fixed at 25 MSPS (L/M = 5/4), and the WiMAX downlink at 11.4 MSPS
+// becomes L/M = 125/57.
+type Resampler struct {
+	l, m  int
+	taps  []float64
+	phase [][]float64 // polyphase banks, phase[p][k] multiplies x[n-k]
+	hist  Samples     // most recent input samples, newest last
+	acc   int         // output phase accumulator
+}
+
+// NewResampler creates an L/M rational resampler. tapsPerPhase controls
+// filter quality (8 is a good default; higher is sharper and slower).
+func NewResampler(l, m, tapsPerPhase int) *Resampler {
+	if l <= 0 || m <= 0 {
+		panic(fmt.Sprintf("dsp: invalid resampler ratio %d/%d", l, m))
+	}
+	if tapsPerPhase < 2 {
+		tapsPerPhase = 2
+	}
+	g := gcd(l, m)
+	l, m = l/g, m/g
+	numTaps := l * tapsPerPhase
+	// Cut off at the narrower of the input and output Nyquist rates.
+	cutoff := 0.5 / float64(max(l, m))
+	taps := LowpassTaps(numTaps, cutoff*0.9)
+	// The interpolator inserts L-1 zeros, so scale gain by L to preserve
+	// signal amplitude through the zero-stuffed lowpass.
+	for i := range taps {
+		taps[i] *= float64(l)
+	}
+	phase := make([][]float64, l)
+	for p := 0; p < l; p++ {
+		var bank []float64
+		for i := p; i < numTaps; i += l {
+			bank = append(bank, taps[i])
+		}
+		phase[p] = bank
+	}
+	return &Resampler{l: l, m: m, taps: taps, phase: phase,
+		hist: make(Samples, 0, tapsPerPhase)}
+}
+
+// Ratio returns the reduced interpolation and decimation factors.
+func (r *Resampler) Ratio() (l, m int) { return r.l, r.m }
+
+// Reset clears filter state.
+func (r *Resampler) Reset() {
+	r.hist = r.hist[:0]
+	r.acc = 0
+}
+
+// Process consumes a block of input samples and returns the resampled
+// output. Streaming state is preserved across calls so that consecutive
+// blocks are seamless.
+func (r *Resampler) Process(in Samples) Samples {
+	tapsPerPhase := len(r.phase[0])
+	out := make(Samples, 0, len(in)*r.l/r.m+1)
+	for _, x := range in {
+		r.hist = append(r.hist, x)
+		if len(r.hist) > tapsPerPhase {
+			r.hist = r.hist[1:]
+		}
+		// Each input sample advances the virtual upsampled stream by L
+		// positions; emit an output whenever the accumulator crosses M.
+		for r.acc < r.l {
+			p := r.acc
+			out = append(out, r.dot(p))
+			r.acc += r.m
+		}
+		r.acc -= r.l
+	}
+	return out
+}
+
+func (r *Resampler) dot(p int) complex128 {
+	bank := r.phase[p]
+	var acc complex128
+	n := len(r.hist)
+	for k, c := range bank {
+		idx := n - 1 - k
+		if idx < 0 {
+			break
+		}
+		acc += r.hist[idx] * complex(c, 0)
+	}
+	return acc
+}
+
+// Resample is a convenience wrapper that resamples a whole buffer with a
+// fresh L/M resampler and returns the result.
+func Resample(in Samples, l, m int) Samples {
+	return NewResampler(l, m, 8).Process(in)
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

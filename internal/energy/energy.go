@@ -1,0 +1,168 @@
+// Package energy implements the energy differentiator of the custom DSP
+// core (paper §2.3, Fig. 4): a coarse-grained detector that compares the
+// energy of incoming samples against the recent past to detect energy rises
+// and falls on a band of interest, usable when no preamble template is known.
+//
+// The hardware keeps a running sum of the last N=32 energy readings
+//
+//	y[n] = y[n-1] + x[n] - x[n-N]
+//
+// where x[n] = I² + Q² of the incoming quantized sample, and compares y[n]
+// against its own value 64 samples earlier (the Z⁻⁶⁴ path in Fig. 4) scaled
+// by user thresholds: an energy-high trigger fires when the current sum
+// exceeds the delayed sum times the high threshold, and an energy-low
+// trigger when the delayed sum exceeds the current sum times the low
+// threshold. Thresholds are configurable between 3 dB and 30 dB.
+package energy
+
+import (
+	"fmt"
+
+	"repro/internal/dsp"
+	"repro/internal/fixed"
+	"repro/internal/fpga"
+)
+
+// WindowLength is the moving-sum length of the hardware design: 32 samples.
+const WindowLength = 32
+
+// CompareDelay is the Z⁻⁶⁴ delay between the current and reference energy
+// sums.
+const CompareDelay = 64
+
+// DetectionCycles is the worst-case latency from the start of an energy step
+// to the trigger: the 32-sample window must fill with the new level, i.e.
+// 32 samples × 4 cycles = 128 cycles = 1.28 µs (paper §3.1: Ten_det).
+const DetectionCycles = WindowLength * fpga.CyclesPerSample
+
+// Threshold limits in dB (paper §2.3: "any energy level change between 3dB
+// and 30dB").
+const (
+	MinThresholdDB = 3.0
+	MaxThresholdDB = 30.0
+)
+
+// noiseFloorSum keeps the delayed-comparison meaningful during silence: a
+// sum of zeros would let any tiny energy blip satisfy cur > delayed*k. Real
+// hardware always integrates thermal noise plus ADC dither; we clamp the
+// reference sum to the energy of ~1 LSB per sample.
+const noiseFloorSum = WindowLength
+
+// Differentiator is the streaming energy rise/fall detector. Not safe for
+// concurrent use.
+type Differentiator struct {
+	window [WindowLength]uint64 // raw x[n] energy readings
+	wpos   int
+
+	sums [CompareDelay]uint64 // history of y[n] for the Z⁻⁶⁴ comparison
+	spos int
+
+	sum  uint64
+	seen int // total samples consumed, saturates once warm
+
+	// Thresholds in Q16.16 linear fixed point (the register bus carries a
+	// 32-bit scaled integer, not a float).
+	highQ16 uint64
+	lowQ16  uint64
+
+	highEnabled bool
+	lowEnabled  bool
+}
+
+// New returns a differentiator with both triggers disabled.
+func New() *Differentiator {
+	return &Differentiator{}
+}
+
+// SetHighThresholdDB enables energy-high detection at the given dB rise.
+func (d *Differentiator) SetHighThresholdDB(db float64) error {
+	q, err := thresholdQ16(db)
+	if err != nil {
+		return err
+	}
+	d.highQ16 = q
+	d.highEnabled = true
+	return nil
+}
+
+// SetLowThresholdDB enables energy-low detection at the given dB fall.
+func (d *Differentiator) SetLowThresholdDB(db float64) error {
+	q, err := thresholdQ16(db)
+	if err != nil {
+		return err
+	}
+	d.lowQ16 = q
+	d.lowEnabled = true
+	return nil
+}
+
+// DisableHigh turns off energy-high detection.
+func (d *Differentiator) DisableHigh() { d.highEnabled = false }
+
+// DisableLow turns off energy-low detection.
+func (d *Differentiator) DisableLow() { d.lowEnabled = false }
+
+func thresholdQ16(db float64) (uint64, error) {
+	if db < MinThresholdDB || db > MaxThresholdDB {
+		return 0, fmt.Errorf("energy: threshold %.1f dB outside [%v, %v]",
+			db, MinThresholdDB, MaxThresholdDB)
+	}
+	return uint64(dsp.FromDB(db) * 65536), nil
+}
+
+// Reset clears all sample state but keeps thresholds.
+func (d *Differentiator) Reset() {
+	d.window = [WindowLength]uint64{}
+	d.sums = [CompareDelay]uint64{}
+	d.wpos, d.spos, d.sum, d.seen = 0, 0, 0, 0
+}
+
+// Process consumes one quantized sample and reports whether the high or low
+// trigger fired on this sample.
+func (d *Differentiator) Process(s fixed.IQ) (high, low bool) {
+	x := s.Energy()
+	// y[n] = y[n-1] + x[n] - x[n-N]
+	d.sum += x - d.window[d.wpos]
+	d.window[d.wpos] = x
+	d.wpos++
+	if d.wpos == WindowLength {
+		d.wpos = 0
+	}
+
+	delayed := d.sums[d.spos]
+	d.sums[d.spos] = d.sum
+	d.spos++
+	if d.spos == CompareDelay {
+		d.spos = 0
+	}
+
+	if d.seen < WindowLength+CompareDelay {
+		d.seen++
+		return false, false // comparison pipeline still filling
+	}
+
+	ref := delayed
+	if ref < noiseFloorSum {
+		ref = noiseFloorSum
+	}
+	cur := d.sum
+	if cur < noiseFloorSum {
+		cur = noiseFloorSum
+	}
+	if d.highEnabled && cur<<16 > ref*d.highQ16 {
+		high = true
+	}
+	if d.lowEnabled && ref<<16 > cur*d.lowQ16 {
+		low = true
+	}
+	return high, low
+}
+
+// Sum returns the current 32-sample energy sum (for host feedback/debug).
+func (d *Differentiator) Sum() uint64 { return d.sum }
+
+// Resources reports the synthesized utilization of the energy differentiator
+// block (paper Fig. 4 inset).
+func (d *Differentiator) Resources() fpga.Resources {
+	return fpga.Resources{Slices: 1262, FFs: 1313, LUTs: 2513, DSP48s: 6}
+}

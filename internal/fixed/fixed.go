@@ -1,0 +1,144 @@
+// Package fixed models the fixed-point numeric formats of the simulated
+// USRP N210 receive chain: the 16-bit signed I/Q samples that the DDC hands
+// to the custom DSP core, and the 3-bit signed cross-correlation coefficients
+// the WARP-derived correlator uses (paper §2.3).
+//
+// Keeping quantization in its own package lets the detectors operate on
+// exactly the integer values the FPGA would see, so effects like sign-bit
+// slicing and coefficient quantization are reproduced bit-for-bit rather
+// than approximated in floating point.
+package fixed
+
+import (
+	"fmt"
+	"math"
+)
+
+// FullScale is the int16 full-scale magnitude used by the simulated ADC/DDC.
+// A floating-point amplitude of 1.0 maps to this code.
+const FullScale = 32767
+
+// IQ is one 16-bit complex baseband sample as seen on the FPGA user bus.
+type IQ struct {
+	I int16
+	Q int16
+}
+
+// Quantize converts a floating-point complex sample (nominal range ±1.0)
+// into a 16-bit I/Q pair, saturating out-of-range values like the ADC does.
+func Quantize(x complex128) IQ {
+	return IQ{I: sat16(real(x) * FullScale), Q: sat16(imag(x) * FullScale)}
+}
+
+// QuantizeBuffer converts a whole floating-point buffer.
+func QuantizeBuffer(x []complex128) []IQ {
+	out := make([]IQ, len(x))
+	for i, v := range x {
+		out[i] = Quantize(v)
+	}
+	return out
+}
+
+// Complex converts the sample back to floating point in ±1.0 range.
+func (s IQ) Complex() complex128 {
+	return complex(float64(s.I)/FullScale, float64(s.Q)/FullScale)
+}
+
+// Energy returns I²+Q² as a uint64, matching the FPGA's x² energy reading
+// (paper Fig. 4: x[n] computed from the incoming I/Q pair).
+func (s IQ) Energy() uint64 {
+	return uint64(int64(s.I)*int64(s.I) + int64(s.Q)*int64(s.Q))
+}
+
+// SignBit returns the 1-bit signed slicing of the sample used by the
+// cross-correlator (paper Fig. 3: "Slice 1 bit signed MSB"): +1 for
+// non-negative, -1 for negative, independently for I and Q.
+func (s IQ) SignBit() (i, q int8) {
+	i, q = 1, 1
+	if s.I < 0 {
+		i = -1
+	}
+	if s.Q < 0 {
+		q = -1
+	}
+	return i, q
+}
+
+func sat16(v float64) int16 {
+	r := math.Round(v)
+	switch {
+	case r > 32767:
+		return 32767
+	case r < -32768:
+		return -32768
+	default:
+		return int16(r)
+	}
+}
+
+// Coeff3 is a 3-bit signed correlator coefficient in [-4, 3], the format
+// loaded over the user register bus into the correlator's coefficient banks.
+type Coeff3 int8
+
+// Coeff3Min and Coeff3Max bound the representable 3-bit signed range.
+const (
+	Coeff3Min Coeff3 = -4
+	Coeff3Max Coeff3 = 3
+)
+
+// NewCoeff3 clamps v to the representable range.
+func NewCoeff3(v int) Coeff3 {
+	switch {
+	case v < int(Coeff3Min):
+		return Coeff3Min
+	case v > int(Coeff3Max):
+		return Coeff3Max
+	default:
+		return Coeff3(v)
+	}
+}
+
+// QuantizeCoeff maps a floating-point coefficient in [-1, 1] to the 3-bit
+// signed grid, scaling so that ±1.0 uses the full positive range (±3) to keep
+// the quantization symmetric, as the reference design's offline coefficient
+// generator does.
+func QuantizeCoeff(v float64) Coeff3 {
+	return NewCoeff3(int(math.Round(v * 3)))
+}
+
+// QuantizeCoeffs quantizes a coefficient template. Values are first
+// normalized by the template's peak magnitude so the dynamic range of the
+// preamble is preserved.
+func QuantizeCoeffs(v []float64) []Coeff3 {
+	peak := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > peak {
+			peak = a
+		}
+	}
+	out := make([]Coeff3, len(v))
+	if peak == 0 {
+		return out
+	}
+	for i, x := range v {
+		out[i] = QuantizeCoeff(x / peak)
+	}
+	return out
+}
+
+// Pack packs the coefficient into the 3-bit two's-complement field used on
+// the 32-bit register bus (bits 2..0).
+func (c Coeff3) Pack() uint32 {
+	return uint32(uint8(int8(c))) & 0x7
+}
+
+// UnpackCoeff3 decodes a 3-bit two's-complement field.
+func UnpackCoeff3(bits uint32) Coeff3 {
+	v := int8(bits & 0x7)
+	if v >= 4 {
+		v -= 8
+	}
+	return Coeff3(v)
+}
+
+func (c Coeff3) String() string { return fmt.Sprintf("%+d", int8(c)) }

@@ -1,0 +1,272 @@
+package flow
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dsp"
+	"repro/internal/impair"
+)
+
+// Standard blocks for host-side flowgraphs.
+
+// VectorSource replays a fixed buffer, cycling when it runs out (like GNU
+// Radio's vector_source with repeat=true) or padding zeros when repeat is
+// off.
+type VectorSource struct {
+	Label  string
+	Data   dsp.Samples
+	Repeat bool
+	pos    int
+	hint   int
+}
+
+// Name implements Block.
+func (v *VectorSource) Name() string {
+	if v.Label != "" {
+		return v.Label
+	}
+	return "vector-source"
+}
+
+// Inputs implements Block.
+func (v *VectorSource) Inputs() int { return 0 }
+
+// Outputs implements Block.
+func (v *VectorSource) Outputs() int { return 1 }
+
+// ChunkHint implements the source sizing contract.
+func (v *VectorSource) ChunkHint(n int) { v.hint = n }
+
+// Work implements Block.
+func (v *VectorSource) Work([]dsp.Samples) ([]dsp.Samples, error) {
+	out := make(dsp.Samples, v.hint)
+	for i := range out {
+		if v.pos >= len(v.Data) {
+			if !v.Repeat {
+				break
+			}
+			v.pos = 0
+		}
+		if len(v.Data) > 0 {
+			out[i] = v.Data[v.pos]
+			v.pos++
+		}
+	}
+	return []dsp.Samples{out}, nil
+}
+
+// NoiseSourceBlock emits WGN at a fixed power.
+type NoiseSourceBlock struct {
+	Label string
+	Src   *dsp.NoiseSource
+	hint  int
+}
+
+// Name implements Block.
+func (n *NoiseSourceBlock) Name() string {
+	if n.Label != "" {
+		return n.Label
+	}
+	return "noise-source"
+}
+
+// Inputs implements Block.
+func (n *NoiseSourceBlock) Inputs() int { return 0 }
+
+// Outputs implements Block.
+func (n *NoiseSourceBlock) Outputs() int { return 1 }
+
+// ChunkHint implements the source sizing contract.
+func (n *NoiseSourceBlock) ChunkHint(h int) { n.hint = h }
+
+// Work implements Block.
+func (n *NoiseSourceBlock) Work([]dsp.Samples) ([]dsp.Samples, error) {
+	if n.Src == nil {
+		return nil, fmt.Errorf("noise source not configured")
+	}
+	return []dsp.Samples{n.Src.Block(n.hint)}, nil
+}
+
+// Adder sums its two inputs.
+type Adder struct{}
+
+// Name implements Block.
+func (Adder) Name() string { return "add" }
+
+// Inputs implements Block.
+func (Adder) Inputs() int { return 2 }
+
+// Outputs implements Block.
+func (Adder) Outputs() int { return 1 }
+
+// Work implements Block.
+func (Adder) Work(in []dsp.Samples) ([]dsp.Samples, error) {
+	out := in[0].Clone()
+	out.Add(in[1])
+	return []dsp.Samples{out}, nil
+}
+
+// Gain scales its input by a constant.
+type Gain struct {
+	G complex128
+}
+
+// Name implements Block.
+func (Gain) Name() string { return "gain" }
+
+// Inputs implements Block.
+func (Gain) Inputs() int { return 1 }
+
+// Outputs implements Block.
+func (Gain) Outputs() int { return 1 }
+
+// Work implements Block.
+func (g Gain) Work(in []dsp.Samples) ([]dsp.Samples, error) {
+	out := make(dsp.Samples, len(in[0]))
+	for i, v := range in[0] {
+		out[i] = v * g.G
+	}
+	return []dsp.Samples{out}, nil
+}
+
+// FIRBlock wraps a streaming dsp.FIR.
+type FIRBlock struct {
+	Label  string
+	Filter *dsp.FIR
+}
+
+// Name implements Block.
+func (f *FIRBlock) Name() string {
+	if f.Label != "" {
+		return f.Label
+	}
+	return "fir"
+}
+
+// Inputs implements Block.
+func (f *FIRBlock) Inputs() int { return 1 }
+
+// Outputs implements Block.
+func (f *FIRBlock) Outputs() int { return 1 }
+
+// Work implements Block.
+func (f *FIRBlock) Work(in []dsp.Samples) ([]dsp.Samples, error) {
+	if f.Filter == nil {
+		return nil, fmt.Errorf("FIR not configured")
+	}
+	return []dsp.Samples{f.Filter.Filter(in[0])}, nil
+}
+
+// ImpairBlock wraps an impair.Chain front-end model.
+type ImpairBlock struct {
+	Chain *impair.Chain
+}
+
+// Name implements Block.
+func (ImpairBlock) Name() string { return "impairments" }
+
+// Inputs implements Block.
+func (ImpairBlock) Inputs() int { return 1 }
+
+// Outputs implements Block.
+func (ImpairBlock) Outputs() int { return 1 }
+
+// Work implements Block.
+func (b ImpairBlock) Work(in []dsp.Samples) ([]dsp.Samples, error) {
+	if b.Chain == nil {
+		return nil, fmt.Errorf("impairment chain not configured")
+	}
+	return []dsp.Samples{b.Chain.Process(in[0])}, nil
+}
+
+// CoreBlock runs the custom jammer DSP core: RX samples in, TX out.
+type CoreBlock struct {
+	Core *core.Core
+}
+
+// Name implements Block.
+func (CoreBlock) Name() string { return "jammer-core" }
+
+// Inputs implements Block.
+func (CoreBlock) Inputs() int { return 1 }
+
+// Outputs implements Block.
+func (CoreBlock) Outputs() int { return 1 }
+
+// Work implements Block.
+func (b CoreBlock) Work(in []dsp.Samples) ([]dsp.Samples, error) {
+	if b.Core == nil {
+		return nil, fmt.Errorf("core not configured")
+	}
+	return []dsp.Samples{b.Core.ProcessBuffer(in[0])}, nil
+}
+
+// VectorSink collects everything it receives.
+type VectorSink struct {
+	Label string
+	Data  dsp.Samples
+}
+
+// Name implements Block.
+func (v *VectorSink) Name() string {
+	if v.Label != "" {
+		return v.Label
+	}
+	return "vector-sink"
+}
+
+// Inputs implements Block.
+func (v *VectorSink) Inputs() int { return 1 }
+
+// Outputs implements Block.
+func (v *VectorSink) Outputs() int { return 0 }
+
+// Work implements Block.
+func (v *VectorSink) Work(in []dsp.Samples) ([]dsp.Samples, error) {
+	v.Data = append(v.Data, in[0]...)
+	return nil, nil
+}
+
+// Probe measures running power and peak without retaining samples.
+type Probe struct {
+	Label   string
+	Samples int
+	Energy  float64
+	Peak    float64
+}
+
+// Name implements Block.
+func (p *Probe) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return "probe"
+}
+
+// Inputs implements Block.
+func (p *Probe) Inputs() int { return 1 }
+
+// Outputs implements Block.
+func (p *Probe) Outputs() int { return 0 }
+
+// Work implements Block.
+func (p *Probe) Work(in []dsp.Samples) ([]dsp.Samples, error) {
+	for _, v := range in[0] {
+		e := real(v)*real(v) + imag(v)*imag(v)
+		p.Energy += e
+		if e > p.Peak {
+			p.Peak = e
+		}
+	}
+	p.Samples += len(in[0])
+	return nil, nil
+}
+
+// Power returns the mean power seen so far.
+func (p *Probe) Power() float64 {
+	if p.Samples == 0 {
+		return 0
+	}
+	return p.Energy / float64(p.Samples)
+}

@@ -1,0 +1,190 @@
+// Package flow is a minimal GNU-Radio-style flowgraph engine for the
+// host-side applications of §2.5: the paper's control backend is a GNU
+// Radio Companion flowgraph, and this package provides the same
+// composition model in Go — blocks with typed sample ports, connected
+// into a directed acyclic graph and executed in streaming chunks.
+//
+// Blocks process complex baseband in fixed-size work calls. The graph
+// schedules them in topological order, so a jammer host application is
+// literally [source] → [impairments] → [jammer core] → [sink], and test
+// benches can tap any edge with probes.
+package flow
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dsp"
+)
+
+// Block is one processing stage. Work consumes one chunk per input port
+// and produces one chunk per output port; a block with no inputs is a
+// source and is asked to produce chunkSize samples, and a block with no
+// outputs is a sink.
+type Block interface {
+	// Name identifies the block instance in errors and listings.
+	Name() string
+	// Inputs and Outputs give the port counts.
+	Inputs() int
+	Outputs() int
+	// Work processes one chunk. in has Inputs() buffers of equal length
+	// (chunkSize for sources' callers); the returned slice must have
+	// Outputs() buffers.
+	Work(in []dsp.Samples) ([]dsp.Samples, error)
+}
+
+// port addresses one endpoint of a connection.
+type port struct {
+	block int
+	idx   int
+}
+
+// edge is a directed connection between two ports.
+type edge struct {
+	from, to port
+}
+
+// Graph is a flowgraph under construction and execution. The zero value is
+// an empty graph ready for Add/Connect.
+type Graph struct {
+	blocks []Block
+	edges  []edge
+	// chunk is the scheduling quantum in samples.
+	chunk int
+}
+
+// NewGraph returns an empty graph with the given chunk size (samples per
+// work call; 4096 when ≤0).
+func NewGraph(chunk int) *Graph {
+	if chunk <= 0 {
+		chunk = 4096
+	}
+	return &Graph{chunk: chunk}
+}
+
+// Add registers a block and returns its handle (index).
+func (g *Graph) Add(b Block) int {
+	g.blocks = append(g.blocks, b)
+	return len(g.blocks) - 1
+}
+
+// Connect wires output port srcPort of block src into input port dstPort
+// of block dst.
+func (g *Graph) Connect(src, srcPort, dst, dstPort int) error {
+	if src < 0 || src >= len(g.blocks) || dst < 0 || dst >= len(g.blocks) {
+		return fmt.Errorf("flow: connect references unknown block (%d→%d)", src, dst)
+	}
+	if srcPort < 0 || srcPort >= g.blocks[src].Outputs() {
+		return fmt.Errorf("flow: %s has no output port %d", g.blocks[src].Name(), srcPort)
+	}
+	if dstPort < 0 || dstPort >= g.blocks[dst].Inputs() {
+		return fmt.Errorf("flow: %s has no input port %d", g.blocks[dst].Name(), dstPort)
+	}
+	for _, e := range g.edges {
+		if e.to == (port{dst, dstPort}) {
+			return fmt.Errorf("flow: input %s:%d already connected", g.blocks[dst].Name(), dstPort)
+		}
+	}
+	g.edges = append(g.edges, edge{port{src, srcPort}, port{dst, dstPort}})
+	return nil
+}
+
+// validate checks that every input port is fed and the graph is acyclic,
+// returning a topological order.
+func (g *Graph) validate() ([]int, error) {
+	indeg := make([]int, len(g.blocks))
+	adj := make([][]int, len(g.blocks))
+	fed := make(map[port]bool)
+	for _, e := range g.edges {
+		adj[e.from.block] = append(adj[e.from.block], e.to.block)
+		indeg[e.to.block]++
+		fed[e.to] = true
+	}
+	for bi, b := range g.blocks {
+		for p := 0; p < b.Inputs(); p++ {
+			if !fed[port{bi, p}] {
+				return nil, fmt.Errorf("flow: input %s:%d unconnected", b.Name(), p)
+			}
+		}
+	}
+	// Kahn's algorithm; deterministic order via sorted ready set.
+	var order []int
+	ready := []int{}
+	for i, d := range indeg {
+		if d == 0 {
+			ready = append(ready, i)
+		}
+	}
+	for len(ready) > 0 {
+		sort.Ints(ready)
+		n := ready[0]
+		ready = ready[1:]
+		order = append(order, n)
+		for _, m := range adj[n] {
+			indeg[m]--
+			if indeg[m] == 0 {
+				ready = append(ready, m)
+			}
+		}
+	}
+	if len(order) != len(g.blocks) {
+		return nil, fmt.Errorf("flow: graph has a cycle")
+	}
+	return order, nil
+}
+
+// Run executes the graph for totalSamples per source, in chunks. It stops
+// early with an error from any block.
+func (g *Graph) Run(totalSamples int) error {
+	if totalSamples <= 0 {
+		return fmt.Errorf("flow: totalSamples must be positive")
+	}
+	order, err := g.validate()
+	if err != nil {
+		return err
+	}
+	produced := 0
+	for produced < totalSamples {
+		n := min(g.chunk, totalSamples-produced)
+		// Buffers per (block, output port) for this chunk.
+		outputs := make(map[port]dsp.Samples)
+		for _, bi := range order {
+			b := g.blocks[bi]
+			in := make([]dsp.Samples, b.Inputs())
+			for p := 0; p < b.Inputs(); p++ {
+				for _, e := range g.edges {
+					if e.to == (port{bi, p}) {
+						in[p] = outputs[e.from]
+					}
+				}
+				if in[p] == nil {
+					in[p] = make(dsp.Samples, n)
+				}
+			}
+			// Sources get an empty input slice but must know the chunk
+			// size; pass it via a single zero-length-convention: sources
+			// receive a nil slice and use ChunkHint.
+			if b.Inputs() == 0 {
+				if h, ok := b.(chunkHinter); ok {
+					h.ChunkHint(n)
+				}
+			}
+			out, err := b.Work(in)
+			if err != nil {
+				return fmt.Errorf("flow: block %s: %w", b.Name(), err)
+			}
+			if len(out) != b.Outputs() {
+				return fmt.Errorf("flow: block %s produced %d buffers, declared %d",
+					b.Name(), len(out), b.Outputs())
+			}
+			for p, buf := range out {
+				outputs[port{bi, p}] = buf
+			}
+		}
+		produced += n
+	}
+	return nil
+}
+
+// chunkHinter lets sources learn the requested chunk size.
+type chunkHinter interface{ ChunkHint(n int) }

@@ -1,0 +1,232 @@
+package flow
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dsp"
+	"repro/internal/host"
+	"repro/internal/jammer"
+	"repro/internal/trigger"
+)
+
+func TestSourceToSink(t *testing.T) {
+	g := NewGraph(8)
+	src := g.Add(&VectorSource{Data: dsp.Samples{1, 2, 3}, Repeat: true})
+	sink := &VectorSink{}
+	sk := g.Add(sink)
+	if err := g.Connect(src, 0, sk, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	// The cycle continues seamlessly across the chunk boundary at 8.
+	want := dsp.Samples{1, 2, 3, 1, 2, 3, 1, 2, 3, 1}
+	if len(sink.Data) != len(want) {
+		t.Fatalf("sink has %d samples, want %d", len(sink.Data), len(want))
+	}
+	for i := range want {
+		if sink.Data[i] != want[i] {
+			t.Fatalf("sample %d = %v, want %v", i, sink.Data[i], want[i])
+		}
+	}
+}
+
+func TestNonRepeatingSourcePads(t *testing.T) {
+	g := NewGraph(4)
+	src := g.Add(&VectorSource{Data: dsp.Samples{1, 1}})
+	sink := &VectorSink{}
+	sk := g.Add(sink)
+	if err := g.Connect(src, 0, sk, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Data[2] != 0 || sink.Data[3] != 0 {
+		t.Errorf("exhausted source should pad zeros: %v", sink.Data)
+	}
+}
+
+func TestAdderAndGain(t *testing.T) {
+	g := NewGraph(16)
+	a := g.Add(&VectorSource{Label: "a", Data: dsp.Samples{1}, Repeat: true})
+	b := g.Add(&VectorSource{Label: "b", Data: dsp.Samples{2i}, Repeat: true})
+	add := g.Add(Adder{})
+	gain := g.Add(Gain{G: 2})
+	sink := &VectorSink{}
+	sk := g.Add(sink)
+	for _, c := range []struct{ s, sp, d, dp int }{
+		{a, 0, add, 0}, {b, 0, add, 1}, {add, 0, gain, 0}, {gain, 0, sk, 0},
+	} {
+		if err := g.Connect(c.s, c.sp, c.d, c.dp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Run(16); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range sink.Data {
+		if v != 2+4i {
+			t.Fatalf("sample %v, want (2+4i)", v)
+		}
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	g := NewGraph(8)
+	src := g.Add(&VectorSource{Data: dsp.Samples{1}})
+	add := g.Add(Adder{})
+	sink := g.Add(&VectorSink{})
+	if err := g.Connect(99, 0, sink, 0); err == nil {
+		t.Error("unknown block accepted")
+	}
+	if err := g.Connect(src, 1, sink, 0); err == nil {
+		t.Error("bad source port accepted")
+	}
+	if err := g.Connect(src, 0, add, 5); err == nil {
+		t.Error("bad dest port accepted")
+	}
+	if err := g.Connect(src, 0, add, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect(src, 0, add, 0); err == nil {
+		t.Error("double connection accepted")
+	}
+	// Run with add's second input unconnected: must fail.
+	if err := g.Connect(add, 0, sink, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Run(8); err == nil || !strings.Contains(err.Error(), "unconnected") {
+		t.Errorf("unconnected input not caught: %v", err)
+	}
+	if err := g.Run(0); err == nil {
+		t.Error("zero samples accepted")
+	}
+}
+
+// loopback wires a block's output back to its own input via an adder to
+// force a cycle.
+func TestCycleDetection(t *testing.T) {
+	g := NewGraph(8)
+	src := g.Add(&VectorSource{Data: dsp.Samples{1}, Repeat: true})
+	add := g.Add(Adder{})
+	gain := g.Add(Gain{G: 1})
+	sink := g.Add(&VectorSink{})
+	_ = g.Connect(src, 0, add, 0)
+	_ = g.Connect(gain, 0, add, 1)
+	_ = g.Connect(add, 0, gain, 0) // cycle: add -> gain -> add
+	_ = g.Connect(gain, 0, sink, 0)
+	err := g.Run(8)
+	if err == nil {
+		t.Fatal("cycle not detected")
+	}
+	// Either the cycle or the double-output connection triggers — both are
+	// config errors; require the cycle message when reachable.
+	if !strings.Contains(err.Error(), "cycle") && !strings.Contains(err.Error(), "unconnected") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestProbePower(t *testing.T) {
+	g := NewGraph(64)
+	n := g.Add(&NoiseSourceBlock{Src: dsp.NewNoiseSource(0.25, 1)})
+	p := &Probe{}
+	pb := g.Add(p)
+	if err := g.Connect(n, 0, pb, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Power()-0.25) > 0.02 {
+		t.Errorf("probe power %v, want 0.25", p.Power())
+	}
+	if p.Samples != 100000 {
+		t.Errorf("probe counted %d samples", p.Samples)
+	}
+}
+
+// TestJammerHostFlowgraph composes the paper's host application as a
+// flowgraph: WiFi-frame source → jammer core → sink, verifying the core
+// jams inside the graph.
+func TestJammerHostFlowgraph(t *testing.T) {
+	c := core.New()
+	h := host.New(c)
+	if _, err := h.ProgramEnergy(10, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.ProgramTrigger(core.FusionSequence,
+		[]trigger.Event{trigger.EventEnergyHigh}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.ProgramJammer(host.Personality{
+		Waveform: jammer.WaveformWGN, Uptime: 20e-6 * 1e9, Gain: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	burst := make(dsp.Samples, 4000)
+	for i := 1500; i < 3000; i++ {
+		burst[i] = complex(0.5, 0)
+	}
+	g := NewGraph(512)
+	src := g.Add(&VectorSource{Data: burst})
+	noise := g.Add(&NoiseSourceBlock{Src: dsp.NewNoiseSource(1e-6, 2)})
+	add := g.Add(Adder{})
+	jam := g.Add(CoreBlock{Core: c})
+	sink := &VectorSink{}
+	sk := g.Add(sink)
+	for _, cn := range []struct{ s, sp, d, dp int }{
+		{src, 0, add, 0}, {noise, 0, add, 1}, {add, 0, jam, 0}, {jam, 0, sk, 0},
+	} {
+		if err := g.Connect(cn.s, cn.sp, cn.d, cn.dp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Run(len(burst)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().JamTriggers == 0 {
+		t.Fatal("core never triggered inside the flowgraph")
+	}
+	active := 0
+	for _, v := range sink.Data {
+		if v != 0 {
+			active++
+		}
+	}
+	if active == 0 {
+		t.Error("no jamming output reached the sink")
+	}
+}
+
+func TestBlockNames(t *testing.T) {
+	blocks := []Block{
+		&VectorSource{}, &NoiseSourceBlock{}, Adder{}, Gain{},
+		&FIRBlock{}, ImpairBlock{}, CoreBlock{}, &VectorSink{}, &Probe{},
+	}
+	for _, b := range blocks {
+		if b.Name() == "" {
+			t.Errorf("%T has empty name", b)
+		}
+	}
+	if (&VectorSource{Label: "x"}).Name() != "x" {
+		t.Error("label override failed")
+	}
+}
+
+func TestUnconfiguredBlocksFail(t *testing.T) {
+	for _, b := range []Block{&NoiseSourceBlock{}, &FIRBlock{}, ImpairBlock{}, CoreBlock{}} {
+		in := make([]dsp.Samples, b.Inputs())
+		for i := range in {
+			in[i] = make(dsp.Samples, 4)
+		}
+		if _, err := b.Work(in); err == nil {
+			t.Errorf("%s accepted work while unconfigured", b.Name())
+		}
+	}
+}

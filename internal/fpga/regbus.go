@@ -1,0 +1,111 @@
+package fpga
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The UHD user register bus (paper §2.2): an 8-bit address bus and a 32-bit
+// data bus providing up to 255 programmable registers inside the custom DSP
+// core. Host applications program detector coefficients, thresholds and
+// jammer settings through it at runtime; the paper measures its write
+// latency at "hundreds of ns" (§4.3), which is what makes on-the-fly jammer
+// personality changes possible without reprogramming the FPGA.
+
+// NumUserRegisters is the size of the user register file. Address 0 is
+// reserved by the UHD design, leaving 255 usable registers.
+const NumUserRegisters = 256
+
+// RegWriteLatency is the modeled latency of one register write through the
+// UHD user setting bus.
+const RegWriteLatency = 300 * time.Nanosecond
+
+// ErrBadRegister is returned for accesses outside the register file.
+var ErrBadRegister = fmt.Errorf("fpga: register address out of range")
+
+// RegWatcher observes register writes; blocks register watchers on their
+// control addresses to pick up configuration as soon as the host programs it.
+type RegWatcher func(addr uint8, value uint32)
+
+// RegisterBus is the user register file plus write-latency accounting.
+// It is safe for concurrent use: the host-side application and the sample
+// clocked core may touch it from different goroutines.
+type RegisterBus struct {
+	mu       sync.RWMutex
+	regs     [NumUserRegisters]uint32
+	written  [NumUserRegisters]bool
+	watchers map[uint8][]RegWatcher
+	writes   uint64
+}
+
+// NewRegisterBus returns an empty register file.
+func NewRegisterBus() *RegisterBus {
+	return &RegisterBus{watchers: make(map[uint8][]RegWatcher)}
+}
+
+// Write programs one 32-bit register. Address 0 is reserved and faults.
+func (b *RegisterBus) Write(addr uint8, value uint32) error {
+	if addr == 0 {
+		return fmt.Errorf("%w: register 0 is reserved by UHD", ErrBadRegister)
+	}
+	b.mu.Lock()
+	b.regs[addr] = value
+	b.written[addr] = true
+	b.writes++
+	watchers := b.watchers[addr]
+	b.mu.Unlock()
+	for _, w := range watchers {
+		w(addr, value)
+	}
+	return nil
+}
+
+// Read returns the current value of a register.
+func (b *RegisterBus) Read(addr uint8) (uint32, error) {
+	if addr == 0 {
+		return 0, fmt.Errorf("%w: register 0 is reserved by UHD", ErrBadRegister)
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.regs[addr], nil
+}
+
+// Watch registers a callback invoked after every write to addr.
+func (b *RegisterBus) Watch(addr uint8, w RegWatcher) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.watchers[addr] = append(b.watchers[addr], w)
+}
+
+// WriteCount returns the total number of register writes performed.
+func (b *RegisterBus) WriteCount() uint64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.writes
+}
+
+// WriteLatency returns the modeled host-to-core latency for n consecutive
+// register writes over the UHD setting bus.
+func WriteLatency(n int) time.Duration {
+	if n < 0 {
+		n = 0
+	}
+	return time.Duration(n) * RegWriteLatency
+}
+
+// UsedRegisters returns the sorted list of register addresses that have been
+// written at least once. The paper's design uses 24 of the 255 registers.
+func (b *RegisterBus) UsedRegisters() []uint8 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var used []uint8
+	for a := 1; a < NumUserRegisters; a++ {
+		if b.written[a] {
+			used = append(used, uint8(a))
+		}
+	}
+	sort.Slice(used, func(i, j int) bool { return used[i] < used[j] })
+	return used
+}

@@ -1,0 +1,119 @@
+package fpga
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRegisterWriteRead(t *testing.T) {
+	b := NewRegisterBus()
+	if err := b.Write(5, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.Read(5)
+	if err != nil || v != 0xDEADBEEF {
+		t.Fatalf("Read = %x, %v", v, err)
+	}
+}
+
+func TestRegisterZeroReserved(t *testing.T) {
+	b := NewRegisterBus()
+	if err := b.Write(0, 1); !errors.Is(err, ErrBadRegister) {
+		t.Errorf("Write(0) err = %v, want ErrBadRegister", err)
+	}
+	if _, err := b.Read(0); !errors.Is(err, ErrBadRegister) {
+		t.Errorf("Read(0) err = %v, want ErrBadRegister", err)
+	}
+}
+
+func TestRegisterWriteReadProperty(t *testing.T) {
+	b := NewRegisterBus()
+	f := func(addr uint8, value uint32) bool {
+		if addr == 0 {
+			return b.Write(addr, value) != nil
+		}
+		if err := b.Write(addr, value); err != nil {
+			return false
+		}
+		v, err := b.Read(addr)
+		return err == nil && v == value
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegisterWatcher(t *testing.T) {
+	b := NewRegisterBus()
+	var got []uint32
+	b.Watch(7, func(addr uint8, v uint32) {
+		if addr != 7 {
+			t.Errorf("watcher got addr %d", addr)
+		}
+		got = append(got, v)
+	})
+	b.Write(7, 1)
+	b.Write(8, 99) // different register, not watched
+	b.Write(7, 2)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("watcher saw %v", got)
+	}
+}
+
+func TestUsedRegisters(t *testing.T) {
+	b := NewRegisterBus()
+	for _, a := range []uint8{30, 3, 12, 3} {
+		if err := b.Write(a, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	used := b.UsedRegisters()
+	want := []uint8{3, 12, 30}
+	if len(used) != len(want) {
+		t.Fatalf("UsedRegisters = %v", used)
+	}
+	for i := range want {
+		if used[i] != want[i] {
+			t.Fatalf("UsedRegisters = %v, want %v", used, want)
+		}
+	}
+	if b.WriteCount() != 4 {
+		t.Errorf("WriteCount = %d, want 4", b.WriteCount())
+	}
+}
+
+func TestWriteLatency(t *testing.T) {
+	// Paper §4.3: personality change latency is "hundreds of ns".
+	if d := WriteLatency(1); d != 300*time.Nanosecond {
+		t.Errorf("1 write = %v", d)
+	}
+	if d := WriteLatency(24); d != 7200*time.Nanosecond {
+		t.Errorf("24 writes = %v", d)
+	}
+	if WriteLatency(-1) != 0 {
+		t.Error("negative count should clamp")
+	}
+}
+
+func TestRegisterBusConcurrency(t *testing.T) {
+	b := NewRegisterBus()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				addr := uint8(1 + (g*31+i)%255)
+				_ = b.Write(addr, uint32(i))
+				_, _ = b.Read(addr)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if b.WriteCount() != 8000 {
+		t.Errorf("WriteCount = %d, want 8000", b.WriteCount())
+	}
+}

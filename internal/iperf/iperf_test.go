@@ -1,0 +1,208 @@
+package iperf
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/host"
+	"repro/internal/jammer"
+	"repro/internal/wifi"
+)
+
+// testLink keeps unit-test runs fast: small payloads, few packets.
+func testLink() LinkConfig {
+	l := DefaultLink()
+	l.Packets = 15
+	l.PayloadBytes = 300
+	return l
+}
+
+func reactive(uptime time.Duration, varAtt float64) JammerConfig {
+	return JammerConfig{
+		Mode: JamReactive,
+		Personality: host.Personality{
+			Waveform: jammer.WaveformWGN, Uptime: uptime, Gain: 1,
+		},
+		VariableAttDB: varAtt,
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(LinkConfig{PayloadBytes: 0, Packets: 1}, JammerConfig{}); err == nil {
+		t.Error("zero payload accepted")
+	}
+	if _, err := Run(LinkConfig{PayloadBytes: 100, Packets: 0}, JammerConfig{}); err == nil {
+		t.Error("zero packets accepted")
+	}
+	l := testLink()
+	if _, err := Run(l, JammerConfig{Mode: JamMode(9)}); err == nil {
+		t.Error("bogus mode accepted")
+	}
+	if _, err := Run(l, JammerConfig{Mode: JamReactive, VariableAttDB: -3}); err == nil {
+		t.Error("negative attenuation accepted")
+	}
+}
+
+func TestCleanLinkDeliversEverything(t *testing.T) {
+	res, err := Run(testLink(), JammerConfig{Mode: JamOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PRR != 1 {
+		t.Errorf("clean-link PRR = %v, want 1", res.PRR)
+	}
+	if res.LinkDropped {
+		t.Error("clean link dropped")
+	}
+	if !math.IsInf(res.SIRdB, 1) {
+		t.Errorf("SIR with jammer off = %v, want +Inf", res.SIRdB)
+	}
+	if res.BandwidthKbps <= 0 {
+		t.Error("no bandwidth measured")
+	}
+	if res.JamAirtimeFrac != 0 {
+		t.Error("jam airtime with jammer off")
+	}
+	if res.FinalRate != wifi.Rate54 {
+		t.Errorf("final rate %v, want 54Mbps on a clean link", res.FinalRate)
+	}
+}
+
+func TestStrongReactiveJammerKillsLink(t *testing.T) {
+	res, err := Run(testLink(), reactive(100*time.Microsecond, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PRR > 0.2 {
+		t.Errorf("PRR %v under strong reactive jamming", res.PRR)
+	}
+	if res.BandwidthKbps != 0 && !res.LinkDropped {
+		t.Errorf("link survived strong jamming: %+v", res)
+	}
+	if res.JamAirtimeFrac <= 0 {
+		t.Error("reactive jammer never transmitted")
+	}
+	// SIR at full jammer power through the -38.4 dB path lands around
+	// -12 dB against the -51 dB signal path.
+	if res.SIRdB > 0 {
+		t.Errorf("measured SIR %v dB, expected strongly negative", res.SIRdB)
+	}
+}
+
+func TestWeakReactiveJammerHarmless(t *testing.T) {
+	res, err := Run(testLink(), reactive(100*time.Microsecond, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PRR != 1 {
+		t.Errorf("PRR %v under 50 dB-attenuated jamming, want 1", res.PRR)
+	}
+	// The jammer still reacts (it hears the frames fine) — it is just too
+	// weak to corrupt anything. Stealth metric must show activity.
+	if res.JamAirtimeFrac == 0 {
+		t.Error("jammer stopped reacting at high attenuation")
+	}
+	if res.SIRdB < 30 {
+		t.Errorf("SIR %v dB, expected > 30 with 50 dB pad", res.SIRdB)
+	}
+}
+
+func TestContinuousJammerTripsCCA(t *testing.T) {
+	res, err := Run(testLink(), JammerConfig{
+		Mode:        JamContinuous,
+		Personality: host.Personality{Gain: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.LinkDropped {
+		t.Error("strong continuous jammer did not drop the link")
+	}
+	if res.BandwidthKbps != 0 || res.Delivered != 0 {
+		t.Errorf("delivered %d under CCA blockage", res.Delivered)
+	}
+}
+
+func TestContinuousJammerBelowCCAOnlyAddsNoise(t *testing.T) {
+	res, err := Run(testLink(), JammerConfig{
+		Mode:          JamContinuous,
+		Personality:   host.Personality{Gain: 1},
+		VariableAttDB: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LinkDropped {
+		t.Error("weak continuous jammer dropped the link")
+	}
+	if res.PRR < 0.9 {
+		t.Errorf("PRR %v under weak continuous jamming", res.PRR)
+	}
+}
+
+func TestLongerUptimeMoreDisruptive(t *testing.T) {
+	// §4.3: "a reactive jammer with longer uptime after trigger tends to be
+	// more disruptive". At a mid-range attenuation the 0.1 ms jammer must
+	// deliver no more than the 0.01 ms jammer.
+	link := testLink()
+	link.Packets = 12
+	const att = 22
+	long, err := Run(link, reactive(100*time.Microsecond, att))
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := Run(link, reactive(10*time.Microsecond, att))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.PRR > short.PRR+0.2 {
+		t.Errorf("0.1ms PRR %v vs 0.01ms PRR %v: long uptime should not be gentler",
+			long.PRR, short.PRR)
+	}
+}
+
+func TestReactiveStealthVsContinuous(t *testing.T) {
+	// The reactive jammer's on-air fraction must be far below continuous
+	// jamming (the paper's core energy-efficiency argument).
+	link := testLink()
+	r, err := Run(link, reactive(10*time.Microsecond, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.JamAirtimeFrac > 0.5 {
+		t.Errorf("10µs reactive jammer on-air fraction %v", r.JamAirtimeFrac)
+	}
+}
+
+func TestReproducibleRuns(t *testing.T) {
+	link := testLink()
+	a, err := Run(link, reactive(50*time.Microsecond, 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(link, reactive(50*time.Microsecond, 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PRR != b.PRR || a.BandwidthKbps != b.BandwidthKbps || a.SIRdB != b.SIRdB {
+		t.Errorf("same seed, different results: %+v vs %+v", a, b)
+	}
+}
+
+func TestTemplateTriggeredJamming(t *testing.T) {
+	// Protocol-aware mode: correlator template of the WiFi short preamble.
+	cfg := reactive(100*time.Microsecond, 0)
+	cfg.Template = host.WiFiShortTemplate()
+	cfg.TemplateThresholdFrac = 0.5
+	res, err := Run(testLink(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JamAirtimeFrac == 0 {
+		t.Error("template-triggered jammer never fired on WiFi frames")
+	}
+	if res.PRR > 0.3 {
+		t.Errorf("PRR %v under protocol-aware jamming at full power", res.PRR)
+	}
+}

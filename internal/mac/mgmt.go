@@ -1,0 +1,172 @@
+package mac
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// Management-plane modeling: beacon frames and the client association
+// state machine. This is what turns sustained jamming into the paper's
+// observed "connection to the access point was lost" — a client that
+// misses enough consecutive beacons tears the association down and must
+// rescan, while one whose data frames die but whose beacons survive keeps
+// reporting an (apparently) healthy link, exactly the §4.3 stealth
+// asymmetry between continuous and reactive jammers.
+
+// BeaconInterval is the standard default: 100 TU of 1024 µs.
+const BeaconInterval = 102400 * time.Microsecond
+
+// Management frame subtypes (frame-control byte 0).
+const (
+	FrameBeacon = 0x80
+	FrameData   = 0x08
+)
+
+// MaxSSIDLen bounds the SSID information element.
+const MaxSSIDLen = 32
+
+// Beacon is a parsed beacon frame.
+type Beacon struct {
+	// Timestamp is the AP's TSF timer at transmission (µs).
+	Timestamp uint64
+	// IntervalTU is the beacon interval in time units.
+	IntervalTU uint16
+	// SSID is the network name.
+	SSID string
+}
+
+// BuildBeacon serializes a beacon MPDU (without FCS): a 24-byte management
+// header, fixed parameters (timestamp, interval, capability) and the SSID
+// element.
+func BuildBeacon(b Beacon) ([]byte, error) {
+	if len(b.SSID) > MaxSSIDLen {
+		return nil, fmt.Errorf("mac: SSID %q exceeds %d bytes", b.SSID, MaxSSIDLen)
+	}
+	out := make([]byte, 24, 24+12+2+len(b.SSID))
+	out[0] = FrameBeacon
+	// Broadcast destination.
+	for i := 4; i < 10; i++ {
+		out[i] = 0xFF
+	}
+	var fixed [12]byte
+	binary.LittleEndian.PutUint64(fixed[0:], b.Timestamp)
+	binary.LittleEndian.PutUint16(fixed[8:], b.IntervalTU)
+	binary.LittleEndian.PutUint16(fixed[10:], 0x0401) // ESS + short slot
+	out = append(out, fixed[:]...)
+	out = append(out, 0x00, byte(len(b.SSID)))
+	out = append(out, b.SSID...)
+	return out, nil
+}
+
+// ParseBeacon inverts BuildBeacon.
+func ParseBeacon(mpdu []byte) (*Beacon, error) {
+	if len(mpdu) < 24+12+2 {
+		return nil, fmt.Errorf("mac: beacon truncated (%d bytes)", len(mpdu))
+	}
+	if mpdu[0] != FrameBeacon {
+		return nil, fmt.Errorf("mac: frame control %#x is not a beacon", mpdu[0])
+	}
+	body := mpdu[24:]
+	b := &Beacon{
+		Timestamp:  binary.LittleEndian.Uint64(body[0:]),
+		IntervalTU: binary.LittleEndian.Uint16(body[8:]),
+	}
+	ie := body[12:]
+	if ie[0] != 0x00 {
+		return nil, fmt.Errorf("mac: first IE %#x is not SSID", ie[0])
+	}
+	n := int(ie[1])
+	if n > MaxSSIDLen || len(ie) < 2+n {
+		return nil, fmt.Errorf("mac: malformed SSID element")
+	}
+	b.SSID = string(ie[2 : 2+n])
+	return b, nil
+}
+
+// AssocState is the client's connection state.
+type AssocState uint8
+
+// Client association states.
+const (
+	// StateScanning: not associated, hunting for beacons.
+	StateScanning AssocState = iota
+	// StateAssociated: holding a live association.
+	StateAssociated
+)
+
+func (s AssocState) String() string {
+	switch s {
+	case StateScanning:
+		return "scanning"
+	case StateAssociated:
+		return "associated"
+	default:
+		return fmt.Sprintf("AssocState(%d)", uint8(s))
+	}
+}
+
+// Association tracks a client's link liveness from beacon arrivals. The
+// zero value starts scanning.
+type Association struct {
+	// MaxMissedBeacons before the client declares the AP gone (typical
+	// firmware uses ~7).
+	MaxMissedBeacons int
+
+	state      AssocState
+	lastBeacon time.Duration // station clock at last beacon
+	now        time.Duration
+	missed     int
+	drops      int
+}
+
+// NewAssociation returns a state machine with the default beacon-loss
+// threshold.
+func NewAssociation() *Association {
+	return &Association{MaxMissedBeacons: 7}
+}
+
+// State returns the current association state.
+func (a *Association) State() AssocState { return a.state }
+
+// Drops counts how many times the association was lost.
+func (a *Association) Drops() int { return a.drops }
+
+// MissedBeacons returns the current consecutive-miss count.
+func (a *Association) MissedBeacons() int { return a.missed }
+
+// OnBeacon records a successfully decoded beacon at the current clock; a
+// scanning client (re)associates immediately.
+func (a *Association) OnBeacon() {
+	a.missed = 0
+	a.lastBeacon = a.now
+	if a.state == StateScanning {
+		a.state = StateAssociated
+	}
+}
+
+// Advance moves the station clock forward and accounts for beacons that
+// should have arrived but did not.
+func (a *Association) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	a.now += d
+	if a.state != StateAssociated {
+		return
+	}
+	max := a.MaxMissedBeacons
+	if max <= 0 {
+		max = 7
+	}
+	for a.now-a.lastBeacon >= BeaconInterval {
+		a.lastBeacon += BeaconInterval
+		a.missed++
+		if a.missed >= max {
+			a.state = StateScanning
+			a.drops++
+			a.missed = 0
+			return
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package mac
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/dsp"
+	"repro/internal/wifi"
+)
+
+func TestBeaconRoundTrip(t *testing.T) {
+	in := Beacon{Timestamp: 123456789, IntervalTU: 100, SSID: "drexel-dwsl"}
+	mpdu, err := BuildBeacon(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseBeacon(mpdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *out != in {
+		t.Errorf("round trip %+v != %+v", out, in)
+	}
+}
+
+func TestBeaconRoundTripProperty(t *testing.T) {
+	f := func(ts uint64, tu uint16, ssidRaw []byte) bool {
+		ssid := strings.Map(func(r rune) rune {
+			if r < 32 || r > 126 {
+				return 'x'
+			}
+			return r
+		}, string(ssidRaw))
+		if len(ssid) > MaxSSIDLen {
+			ssid = ssid[:MaxSSIDLen]
+		}
+		in := Beacon{Timestamp: ts, IntervalTU: tu, SSID: ssid}
+		mpdu, err := BuildBeacon(in)
+		if err != nil {
+			return false
+		}
+		out, err := ParseBeacon(mpdu)
+		return err == nil && *out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBeaconValidation(t *testing.T) {
+	if _, err := BuildBeacon(Beacon{SSID: strings.Repeat("a", 33)}); err == nil {
+		t.Error("oversize SSID accepted")
+	}
+	if _, err := ParseBeacon([]byte{1, 2, 3}); err == nil {
+		t.Error("truncated beacon accepted")
+	}
+	mpdu, _ := BuildBeacon(Beacon{SSID: "x"})
+	mpdu[0] = FrameData
+	if _, err := ParseBeacon(mpdu); err == nil {
+		t.Error("data frame parsed as beacon")
+	}
+}
+
+func TestBeaconOverTheAir(t *testing.T) {
+	// A beacon must survive the real PHY at the basic rate.
+	mpdu, err := BuildBeacon(Beacon{Timestamp: 777, IntervalTU: 100, SSID: "dwsl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wave, err := wifi.Modulate(wifi.AppendFCS(mpdu), wifi.TxConfig{Rate: wifi.Rate6, ScramblerSeed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := make(dsp.Samples, 200+len(wave)+100)
+	copy(rx[200:], wave)
+	rng := rand.New(rand.NewSource(1))
+	for i := range rx {
+		rx[i] += complex(rng.NormFloat64(), rng.NormFloat64()) * 1e-3
+	}
+	res, err := wifi.Demodulate(rx, 200+160, 200+224)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, ok := wifi.CheckFCS(res.PSDU)
+	if !ok {
+		t.Fatal("beacon FCS failed")
+	}
+	got, err := ParseBeacon(body)
+	if err != nil || got.SSID != "dwsl" {
+		t.Errorf("over-the-air beacon: %+v, %v", got, err)
+	}
+}
+
+func TestAssociationLifecycle(t *testing.T) {
+	a := NewAssociation()
+	if a.State() != StateScanning {
+		t.Fatal("should start scanning")
+	}
+	a.OnBeacon()
+	if a.State() != StateAssociated {
+		t.Fatal("beacon should associate")
+	}
+	// Healthy beaconing: advance 50 intervals with beacons.
+	for i := 0; i < 50; i++ {
+		a.Advance(BeaconInterval)
+		a.OnBeacon()
+	}
+	if a.State() != StateAssociated || a.Drops() != 0 {
+		t.Errorf("healthy link dropped: %v drops=%d", a.State(), a.Drops())
+	}
+	// Jammer kills all beacons: 7 missed -> disassociation.
+	a.Advance(7 * BeaconInterval)
+	if a.State() != StateScanning {
+		t.Errorf("state %v after 7 missed beacons, want scanning", a.State())
+	}
+	if a.Drops() != 1 {
+		t.Errorf("drops = %d, want 1", a.Drops())
+	}
+	// Jammer gone: first beacon reassociates.
+	a.OnBeacon()
+	if a.State() != StateAssociated {
+		t.Error("reassociation failed")
+	}
+}
+
+func TestAssociationPartialMisses(t *testing.T) {
+	a := NewAssociation()
+	a.OnBeacon()
+	// Miss 5, catch one, miss 5 again: never hits 7 consecutive.
+	a.Advance(5 * BeaconInterval)
+	if a.MissedBeacons() != 5 {
+		t.Errorf("missed = %d, want 5", a.MissedBeacons())
+	}
+	a.OnBeacon()
+	a.Advance(5 * BeaconInterval)
+	if a.State() != StateAssociated {
+		t.Error("dropped despite non-consecutive misses")
+	}
+	// Negative/zero advance is a no-op.
+	a.Advance(-time.Second)
+	if a.State() != StateAssociated {
+		t.Error("negative advance changed state")
+	}
+}
+
+func TestAssocStateStrings(t *testing.T) {
+	if StateScanning.String() != "scanning" || StateAssociated.String() != "associated" {
+		t.Error("state strings")
+	}
+	if AssocState(7).String() != "AssocState(7)" {
+		t.Error("unknown state string")
+	}
+}

@@ -1,0 +1,142 @@
+// Package radio models the USRP N210 software-defined radio with its SBX
+// front end (§2.1): a full-duplex transceiver whose receive path carries
+// down-converted, decimated baseband at the fixed 25 MSPS rate into the
+// custom DSP core, and whose transmit path carries the core's jamming
+// output through the DUC back to RF.
+//
+// Both chains are initialized together at start-up, as the paper does to
+// eliminate RX/TX switching time. Front-end tuning covers the SBX's
+// 400 MHz – 4.4 GHz range with up to 40 MHz of instantaneous bandwidth.
+package radio
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dsp"
+	"repro/internal/fpga"
+)
+
+// SBX front-end limits.
+const (
+	// MinFreqHz and MaxFreqHz bound the SBX tuning range.
+	MinFreqHz = 400e6
+	MaxFreqHz = 4.4e9
+	// MaxBandwidthHz is the SBX instantaneous bandwidth.
+	MaxBandwidthHz = 40e6
+	// MaxGainDB is the SBX receive/transmit gain range.
+	MaxGainDB = 31.5
+)
+
+// N210 is the radio: front-end state plus the custom DSP core nested in its
+// DDC chain. Construct with New.
+type N210 struct {
+	core *core.Core
+
+	centerHz float64
+	rxGainDB float64
+	txGainDB float64
+
+	ddc *dsp.Resampler // source-rate → 25 MSPS, when needed
+
+	started bool
+}
+
+// New returns a radio with a fresh DSP core, tuned to WiFi channel 14
+// (2.484 GHz, the paper's §4.1 setting) with 0 dB gains.
+func New() *N210 {
+	return &N210{core: core.New(), centerHz: 2.484e9}
+}
+
+// Core exposes the custom DSP core (and through it the register bus).
+func (r *N210) Core() *core.Core { return r.core }
+
+// Tune sets the RF center frequency.
+func (r *N210) Tune(hz float64) error {
+	if hz < MinFreqHz || hz > MaxFreqHz {
+		return fmt.Errorf("radio: %.0f Hz outside SBX range [%.0f, %.0f]",
+			hz, MinFreqHz, MaxFreqHz)
+	}
+	r.centerHz = hz
+	return nil
+}
+
+// CenterFreq returns the tuned center frequency in Hz.
+func (r *N210) CenterFreq() float64 { return r.centerHz }
+
+// SetRXGain and SetTXGain set the front-end gains in dB.
+func (r *N210) SetRXGain(db float64) error {
+	if db < 0 || db > MaxGainDB {
+		return fmt.Errorf("radio: RX gain %v dB outside [0, %v]", db, MaxGainDB)
+	}
+	r.rxGainDB = db
+	return nil
+}
+
+// SetTXGain sets the transmit gain in dB.
+func (r *N210) SetTXGain(db float64) error {
+	if db < 0 || db > MaxGainDB {
+		return fmt.Errorf("radio: TX gain %v dB outside [0, %v]", db, MaxGainDB)
+	}
+	r.txGainDB = db
+	return nil
+}
+
+// RXGain returns the receive gain in dB.
+func (r *N210) RXGain() float64 { return r.rxGainDB }
+
+// TXGain returns the transmit gain in dB.
+func (r *N210) TXGain() float64 { return r.txGainDB }
+
+// Start initializes both chains simultaneously (§2.1: "we initialize both
+// TX and RX chains simultaneously in the host application at start-up").
+func (r *N210) Start() {
+	r.started = true
+	r.core.ResetDatapath()
+}
+
+// Started reports whether the chains are streaming.
+func (r *N210) Started() bool { return r.started }
+
+// SetSourceRate installs a DDC resampler for input delivered at a rate
+// other than 25 MSPS; the rational ratio 25 MSPS / sourceHz is reduced
+// internally. Pass fpga.SampleRateHz to disable resampling.
+func (r *N210) SetSourceRate(sourceHz int) error {
+	if sourceHz <= 0 {
+		return fmt.Errorf("radio: invalid source rate %d", sourceHz)
+	}
+	if sourceHz == fpga.SampleRateHz {
+		r.ddc = nil
+		return nil
+	}
+	g := gcd(fpga.SampleRateHz, sourceHz)
+	r.ddc = dsp.NewResampler(fpga.SampleRateHz/g, sourceHz/g, 8)
+	return nil
+}
+
+// Process streams a block of received baseband through the DDC (if any) and
+// the custom DSP core, returning the transmit-path output at 25 MSPS,
+// scaled by the front-end gains.
+func (r *N210) Process(rx dsp.Samples) (dsp.Samples, error) {
+	if !r.started {
+		return nil, fmt.Errorf("radio: chains not started")
+	}
+	in := rx
+	if r.ddc != nil {
+		in = r.ddc.Process(rx)
+	}
+	rxGain := dsp.AmplitudeFromDB(r.rxGainDB)
+	txGain := dsp.AmplitudeFromDB(r.txGainDB)
+	out := make(dsp.Samples, len(in))
+	for i, s := range in {
+		out[i] = r.core.ProcessSample(s*complex(rxGain, 0)) * complex(txGain, 0)
+	}
+	return out, nil
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,29 @@
+package wifi
+
+// Bit-order helpers. 802.11 serializes each octet least-significant bit
+// first (§17.3.5.3).
+
+// BytesToBits expands bytes into bits, LSB first.
+func BytesToBits(b []byte) []uint8 {
+	out := make([]uint8, 0, len(b)*8)
+	for _, v := range b {
+		for i := 0; i < 8; i++ {
+			out = append(out, (v>>i)&1)
+		}
+	}
+	return out
+}
+
+// BitsToBytes packs bits (LSB first) into bytes; len(bits) must be a
+// multiple of 8.
+func BitsToBytes(bits []uint8) []byte {
+	out := make([]byte, len(bits)/8)
+	for i := range out {
+		var v byte
+		for j := 0; j < 8; j++ {
+			v |= byte(bits[i*8+j]&1) << j
+		}
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package wifi
+
+import "fmt"
+
+// The 802.11 convolutional code (§17.3.5.5): rate-1/2, constraint length 7,
+// generators g0 = 133₈ and g1 = 171₈, with puncturing to rates 2/3 and 3/4.
+
+// Code generator polynomials (octal 133, 171).
+const (
+	genA = 0o133
+	genB = 0o171
+	// numStates is 2^(K-1) for K=7.
+	numStates = 64
+)
+
+// Puncture selects the puncturing pattern applied after the rate-1/2 mother
+// code.
+type Puncture uint8
+
+// The three coding rates of the OFDM PHY.
+const (
+	Punct1_2 Puncture = iota // no puncturing
+	Punct2_3                 // drop every 4th coded bit (B of odd pairs)
+	Punct3_4                 // drop bits 3,4 of every 6 (A3/B2 pattern)
+)
+
+func (p Puncture) String() string {
+	switch p {
+	case Punct1_2:
+		return "1/2"
+	case Punct2_3:
+		return "2/3"
+	case Punct3_4:
+		return "3/4"
+	default:
+		return fmt.Sprintf("Puncture(%d)", uint8(p))
+	}
+}
+
+// pattern returns the keep-mask over one puncturing period of the A,B
+// output stream (interleaved A0 B0 A1 B1 ...).
+func (p Puncture) pattern() []bool {
+	switch p {
+	case Punct2_3:
+		// Period 4 (2 input bits): keep A0 B0 A1, drop B1.
+		return []bool{true, true, true, false}
+	case Punct3_4:
+		// Period 6 (3 input bits): keep A0 B0 A1, drop B1, drop A2, keep B2.
+		return []bool{true, true, true, false, false, true}
+	default:
+		return []bool{true, true}
+	}
+}
+
+// parity64 returns the parity of the 7 low bits of v.
+func parity7(v uint32) uint8 {
+	v &= 0x7F
+	v ^= v >> 4
+	v ^= v >> 2
+	v ^= v >> 1
+	return uint8(v & 1)
+}
+
+// ConvEncode encodes data bits with the rate-1/2 mother code and applies the
+// puncturing pattern. The caller appends the 6 zero tail bits beforehand if
+// trellis termination is wanted.
+func ConvEncode(bits []uint8, p Puncture) []uint8 {
+	mask := p.pattern()
+	out := make([]uint8, 0, len(bits)*2)
+	var state uint32 // 6-bit shift register of previous inputs
+	pos := 0
+	emit := func(b uint8) {
+		if mask[pos] {
+			out = append(out, b)
+		}
+		pos++
+		if pos == len(mask) {
+			pos = 0
+		}
+	}
+	for _, b := range bits {
+		reg := (state << 1) | uint32(b&1)
+		emit(parity7(reg & genA))
+		emit(parity7(reg & genB))
+		state = reg & 0x3F
+	}
+	return out
+}
+
+// viterbiTables holds the per-state branch outputs, computed once.
+var branchOut [numStates][2][2]uint8 // [state][input] -> (outA, outB)
+
+func init() {
+	for s := 0; s < numStates; s++ {
+		for in := 0; in < 2; in++ {
+			reg := (uint32(s) << 1) | uint32(in)
+			branchOut[s][in][0] = parity7(reg & genA)
+			branchOut[s][in][1] = parity7(reg & genB)
+		}
+	}
+}
+
+// erasure marks a punctured (missing) coded bit position for the decoder.
+const erasure uint8 = 2
+
+// depuncture reinserts erasure marks at the punctured positions so the
+// Viterbi decoder can skip them in its metric.
+func depuncture(coded []uint8, p Puncture, numDataBits int) ([]uint8, error) {
+	mask := p.pattern()
+	kept := 0
+	for _, m := range mask {
+		if m {
+			kept++
+		}
+	}
+	need := numDataBits * 2 * kept / len(mask)
+	if len(coded) < need {
+		return nil, fmt.Errorf("wifi: %d coded bits, need %d for %d data bits at rate %v",
+			len(coded), need, numDataBits, p)
+	}
+	out := make([]uint8, 0, numDataBits*2)
+	src := 0
+	pos := 0
+	for len(out) < numDataBits*2 {
+		if mask[pos] {
+			out = append(out, coded[src])
+			src++
+		} else {
+			out = append(out, erasure)
+		}
+		pos++
+		if pos == len(mask) {
+			pos = 0
+		}
+	}
+	return out, nil
+}
+
+// ViterbiDecode performs hard-decision maximum-likelihood decoding of coded
+// bits back to numDataBits data bits. The trellis starts in state 0; if the
+// encoder was tail-terminated the final state 0 is forced, otherwise the
+// best end state wins. Punctured positions are treated as erasures.
+func ViterbiDecode(coded []uint8, p Puncture, numDataBits int, terminated bool) ([]uint8, error) {
+	seq, err := depuncture(coded, p, numDataBits)
+	if err != nil {
+		return nil, err
+	}
+	return tracebackDecode(seq, numDataBits, terminated), nil
+}
+
+// tracebackDecode runs the add-compare-select recursion with explicit
+// predecessor bookkeeping per step for an unambiguous traceback.
+func tracebackDecode(seq []uint8, numDataBits int, terminated bool) []uint8 {
+	const inf = int32(1) << 30
+	metric := make([]int32, numStates)
+	next := make([]int32, numStates)
+	for s := 1; s < numStates; s++ {
+		metric[s] = inf
+	}
+	prev := make([][numStates]uint8, numDataBits) // predecessor state
+
+	for t := 0; t < numDataBits; t++ {
+		rA, rB := seq[2*t], seq[2*t+1]
+		for s := range next {
+			next[s] = inf
+		}
+		for s := 0; s < numStates; s++ {
+			m := metric[s]
+			if m >= inf {
+				continue
+			}
+			for in := 0; in < 2; in++ {
+				ns := ((s << 1) | in) & (numStates - 1)
+				bm := m
+				if rA != erasure && branchOut[s][in][0] != rA {
+					bm++
+				}
+				if rB != erasure && branchOut[s][in][1] != rB {
+					bm++
+				}
+				if bm < next[ns] {
+					next[ns] = bm
+					prev[t][ns] = uint8(s)
+				}
+			}
+		}
+		metric, next = next, metric
+	}
+
+	best := 0
+	if !terminated {
+		for s := 1; s < numStates; s++ {
+			if metric[s] < metric[best] {
+				best = s
+			}
+		}
+	}
+	out := make([]uint8, numDataBits)
+	state := best
+	for t := numDataBits - 1; t >= 0; t-- {
+		out[t] = uint8(state & 1)
+		state = int(prev[t][state])
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package wifi
+
+// The 802.11 OFDM block interleaver (§17.3.5.6): coded bits of one OFDM
+// symbol are permuted twice — the first permutation spreads adjacent coded
+// bits across non-adjacent subcarriers, the second alternates them between
+// significant and less-significant constellation bit positions.
+
+// interleaveIndex maps input index k (0..cbps-1) to output index j for a
+// symbol with cbps coded bits and bpsc bits per subcarrier.
+func interleaveIndex(k, cbps, bpsc int) int {
+	s := bpsc / 2
+	if s < 1 {
+		s = 1
+	}
+	// First permutation.
+	i := (cbps/16)*(k%16) + k/16
+	// Second permutation.
+	j := s*(i/s) + (i+cbps-(16*i)/cbps)%s
+	return j
+}
+
+// Interleave permutes one symbol's worth of coded bits (len must equal
+// N_CBPS for the rate).
+func Interleave(bits []uint8, r Rate) []uint8 {
+	cbps := r.CodedBitsPerSymbol()
+	bpsc := r.BitsPerSubcarrier()
+	out := make([]uint8, cbps)
+	for k := 0; k < cbps; k++ {
+		out[interleaveIndex(k, cbps, bpsc)] = bits[k]
+	}
+	return out
+}
+
+// Deinterleave inverts Interleave.
+func Deinterleave(bits []uint8, r Rate) []uint8 {
+	cbps := r.CodedBitsPerSymbol()
+	bpsc := r.BitsPerSubcarrier()
+	out := make([]uint8, cbps)
+	for k := 0; k < cbps; k++ {
+		out[k] = bits[interleaveIndex(k, cbps, bpsc)]
+	}
+	return out
+}

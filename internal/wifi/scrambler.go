@@ -1,0 +1,51 @@
+package wifi
+
+// Scrambler is the 802.11 frame-synchronous scrambler (§17.3.5.4): a 7-bit
+// LFSR with generator x⁷ + x⁴ + 1. The same structure descrambles, so one
+// type serves both directions.
+type Scrambler struct {
+	state uint8 // 7-bit state
+}
+
+// NewScrambler returns a scrambler seeded with the given 7-bit initial
+// state. The standard requires a pseudorandom nonzero seed per frame; the
+// receiver recovers it from the scrambled all-zero SERVICE bits.
+func NewScrambler(seed uint8) *Scrambler {
+	return &Scrambler{state: seed & 0x7F}
+}
+
+// NextBit returns the next scrambling-sequence bit and advances the LFSR.
+func (s *Scrambler) NextBit() uint8 {
+	// Feedback is x7 xor x4 of the current state.
+	b := ((s.state >> 6) ^ (s.state >> 3)) & 1
+	s.state = ((s.state << 1) | b) & 0x7F
+	return b
+}
+
+// Process scrambles (or descrambles) bits in place and returns them.
+func (s *Scrambler) Process(bits []uint8) []uint8 {
+	for i := range bits {
+		bits[i] ^= s.NextBit()
+	}
+	return bits
+}
+
+// RecoverSeed derives the transmitter's scrambler seed from the first seven
+// descrambler-input bits of the DATA field, which the transmitter produced
+// by scrambling seven zero SERVICE bits: the received bits are the raw
+// scrambling sequence, from which the state is reconstructed.
+func RecoverSeed(first7 []uint8) uint8 {
+	// The 7 scrambling-sequence outputs are the successive feedback bits;
+	// the state after 7 shifts consists exactly of those outputs, and
+	// equals the original seed's image. Running the LFSR backwards from
+	// them reconstructs the seed.
+	var state uint8
+	for _, b := range first7[:7] {
+		state = ((state << 1) | (b & 1)) & 0x7F
+	}
+	// state now equals the LFSR state after the 7 seed-dependent outputs,
+	// which is what NewScrambler needs to continue the sequence — i.e. we
+	// return the state such that subsequent NextBit calls align with the
+	// transmitter's bit 8 onward.
+	return state
+}

@@ -1,0 +1,251 @@
+// Package xcorr implements the signal cross-correlator of the custom DSP
+// core: a bit-exact port of the 64-sample weighted phase correlator from the
+// Rice University WARP OFDM Reference Design v15, with the paper's added
+// custom logic (run-time coefficient loading and threshold comparison;
+// paper §2.3, Fig. 3).
+//
+// The correlator slices each incoming 16-bit I/Q sample to its sign bit
+// (1-bit signed, 90° phase resolution) and correlates the sign sequences
+// against two banks of 64 3-bit signed coefficients (I and Q). The two
+// partial correlations are combined into a confidence-weighted magnitude
+// metric:
+//
+//	metric = (sI·cI − sQ·cQ)² + (sQ·cI + sI·cQ)²
+//
+// which is |Σ sign(x[n]) · conj(c[n])|² computed in 1-bit × 3-bit integer
+// arithmetic, exactly what the FPGA block computes. A detection triggers
+// when the metric crosses a user-selected threshold.
+package xcorr
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/fixed"
+	"repro/internal/fpga"
+)
+
+// Length is the fixed correlation window of the hardware design: 64 samples
+// at the 25 MSPS digital sampling rate (2.56 µs of signal). The paper's §5
+// limitation discussion notes this window cannot be changed at runtime.
+const Length = 64
+
+// DetectionCycles is the pipeline latency from the start of a matching
+// transmission to the correlator trigger: the full 64-sample window must
+// fill, i.e. 64 samples × 4 clock cycles = 256 cycles = 2.56 µs
+// (paper §3.1: Txcorr_det).
+const DetectionCycles = Length * fpga.CyclesPerSample
+
+// MaxMetric is the largest metric value the datapath can produce:
+// each partial sum is at most 64 · 2 · 4 = 512, so the metric tops out at
+// 2 · 512² = 524288, comfortably inside the 32-bit register width.
+const MaxMetric = 2 * 512 * 512
+
+// Correlator is the streaming hardware cross-correlator. It consumes one
+// quantized I/Q sample per baseband sample tick and reports the metric and
+// trigger decision. Not safe for concurrent use; the register bus layer
+// serializes host access.
+type Correlator struct {
+	coefI [Length]fixed.Coeff3
+	coefQ [Length]fixed.Coeff3
+
+	signI [Length]int8 // circular history of sliced sign bits
+	signQ [Length]int8
+	pos   int
+	warm  int // samples consumed, saturates at Length
+
+	threshold uint32
+	metric    uint32
+}
+
+// New returns a correlator with all-zero coefficients (never triggers) and
+// threshold at maximum.
+func New() *Correlator {
+	return &Correlator{threshold: math.MaxUint32}
+}
+
+// SetCoefficients loads the two 64-tap 3-bit coefficient banks, as the host
+// does over the user register bus. Both banks must have exactly Length taps.
+func (c *Correlator) SetCoefficients(i, q []fixed.Coeff3) error {
+	if len(i) != Length || len(q) != Length {
+		return fmt.Errorf("xcorr: coefficient banks must be %d taps, got %d/%d",
+			Length, len(i), len(q))
+	}
+	copy(c.coefI[:], i)
+	copy(c.coefQ[:], q)
+	return nil
+}
+
+// SetThreshold sets the trigger comparison threshold on the squared metric.
+func (c *Correlator) SetThreshold(t uint32) { c.threshold = t }
+
+// Threshold returns the current trigger threshold.
+func (c *Correlator) Threshold() uint32 { return c.threshold }
+
+// Reset clears the sample history (but keeps coefficients and threshold).
+func (c *Correlator) Reset() {
+	c.signI = [Length]int8{}
+	c.signQ = [Length]int8{}
+	c.pos = 0
+	c.warm = 0
+	c.metric = 0
+}
+
+// Process consumes one baseband sample and returns the correlation metric
+// and whether the trigger comparator fired on this sample.
+func (c *Correlator) Process(s fixed.IQ) (metric uint32, trigger bool) {
+	si, sq := s.SignBit()
+	c.signI[c.pos] = si
+	c.signQ[c.pos] = sq
+	c.pos++
+	if c.pos == Length {
+		c.pos = 0
+	}
+	if c.warm < Length {
+		c.warm++
+	}
+
+	// The oldest sample in the history aligns with coefficient 0. After the
+	// pos++ above, the oldest sample sits at index c.pos.
+	var sumII, sumQQ, sumQI, sumIQ int32
+	idx := c.pos
+	for k := 0; k < Length; k++ {
+		i := int32(c.signI[idx])
+		q := int32(c.signQ[idx])
+		ci := int32(c.coefI[k])
+		cq := int32(c.coefQ[k])
+		sumII += i * ci
+		sumQQ += q * cq
+		sumQI += q * ci
+		sumIQ += i * cq
+		idx++
+		if idx == Length {
+			idx = 0
+		}
+	}
+	// The coefficient banks already hold the conjugated template, so the
+	// matched output is the plain complex product Σ s·c:
+	// (sI + j·sQ)(cI + j·cQ) = (sI·cI − sQ·cQ) + j(sQ·cI + sI·cQ).
+	re := sumII - sumQQ
+	im := sumQI + sumIQ
+	m := uint32(re*re) + uint32(im*im)
+	c.metric = m
+	// Hold off until the window has filled once so start-up garbage in the
+	// delay line cannot fire the comparator.
+	trigger = c.warm == Length && m >= c.threshold
+	return m, trigger
+}
+
+// Metric returns the most recent correlation metric.
+func (c *Correlator) Metric() uint32 { return c.metric }
+
+// Resources reports the synthesized utilization of the cross-correlator
+// block on the N210's Spartan-3A DSP (paper Fig. 3 inset).
+func (c *Correlator) Resources() fpga.Resources {
+	return fpga.Resources{Slices: 2613, FFs: 2647, BRAMs: 12, LUTs: 2818, DSP48s: 2}
+}
+
+// CoefficientsFromTemplate generates the two 3-bit coefficient banks from a
+// complex baseband preamble template, the offline host-side generation step
+// of §2.3. The template is conjugated (matched filter) and each component
+// quantized to the 3-bit signed grid after peak normalization. Templates
+// shorter than Length are zero-padded at the end; longer templates use their
+// first Length samples — this truncation is exactly the paper's "orthogonal
+// code correlated across its first 2.56 µs" effect for long codes.
+func CoefficientsFromTemplate(tpl []complex128) (i, q []fixed.Coeff3) {
+	re := make([]float64, Length)
+	im := make([]float64, Length)
+	n := min(len(tpl), Length)
+	peak := 0.0
+	for k := 0; k < n; k++ {
+		re[k] = real(tpl[k])
+		im[k] = -imag(tpl[k]) // conjugate for matched filtering
+		peak = math.Max(peak, math.Max(math.Abs(re[k]), math.Abs(im[k])))
+	}
+	// Both rails share one normalization: scaling them independently would
+	// blow the numerically-empty rail of a (near-)real template up to full
+	// scale and fill the coefficient bank with quantized noise.
+	i = make([]fixed.Coeff3, Length)
+	q = make([]fixed.Coeff3, Length)
+	if peak == 0 {
+		return i, q
+	}
+	for k := 0; k < Length; k++ {
+		i[k] = fixed.QuantizeCoeff(re[k] / peak)
+		q[k] = fixed.QuantizeCoeff(im[k] / peak)
+	}
+	return i, q
+}
+
+// IdealPeakMetric estimates the metric the correlator would produce when the
+// template itself (noiselessly) fills the window, useful for picking
+// thresholds as a fraction of the achievable peak.
+func IdealPeakMetric(tpl []complex128) uint32 {
+	i, q := CoefficientsFromTemplate(tpl)
+	c := New()
+	if err := c.SetCoefficients(i, q); err != nil {
+		panic(err)
+	}
+	var peak uint32
+	for k := 0; k < min(len(tpl), Length); k++ {
+		m, _ := c.Process(fixed.Quantize(tpl[k]))
+		if m > peak {
+			peak = m
+		}
+	}
+	// Feed a few more samples in case pipeline alignment peaks late.
+	for k := 0; k < Length && k < len(tpl)-Length; k++ {
+		m, _ := c.Process(fixed.Quantize(tpl[Length+k]))
+		if m > peak {
+			peak = m
+		}
+	}
+	return peak
+}
+
+// ReferenceMetric computes the same confidence-weighted metric in floating
+// point without sign-bit slicing or coefficient quantization. It is not part
+// of the hardware; the ablation benches use it to quantify the quantization
+// loss of the 1-bit design.
+func ReferenceMetric(window, tpl []complex128) float64 {
+	n := min(min(len(window), len(tpl)), Length)
+	var acc complex128
+	for k := 0; k < n; k++ {
+		acc += window[k] * cmplx.Conj(tpl[k])
+	}
+	return real(acc)*real(acc) + imag(acc)*imag(acc)
+}
+
+// NoiseMetricVariance returns the per-rail variance V of the correlator
+// output when the input is wideband noise: the sliced signs are i.i.d. ±1,
+// so both the real and imaginary partial sums are zero-mean with variance
+// V = Σ(cI² + cQ²), and the metric is V·χ²₂ distributed.
+func NoiseMetricVariance(i, q []fixed.Coeff3) float64 {
+	var v float64
+	for k := 0; k < min(len(i), len(q)); k++ {
+		v += float64(i[k])*float64(i[k]) + float64(q[k])*float64(q[k])
+	}
+	return v
+}
+
+// ThresholdForFARate returns the trigger threshold that yields the target
+// false-alarm rate (triggers per second) on a noise-only input at the
+// 25 MSPS sample rate, using the χ²₂ tail P(metric > T) = exp(−T/2V).
+// This reproduces the §3.2 methodology of calibrating thresholds against
+// terminated-input trigger counts.
+func ThresholdForFARate(i, q []fixed.Coeff3, faPerSec float64) uint32 {
+	v := NoiseMetricVariance(i, q)
+	if v == 0 || faPerSec <= 0 {
+		return math.MaxUint32
+	}
+	p := faPerSec / float64(fpga.SampleRateHz)
+	t := -2 * v * math.Log(p)
+	if t < 1 {
+		t = 1
+	}
+	if t > float64(MaxMetric) {
+		return MaxMetric
+	}
+	return uint32(t)
+}

@@ -1,0 +1,297 @@
+package xcorr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fixed"
+)
+
+// randTemplate builds a random unit-amplitude complex template.
+func randTemplate(rng *rand.Rand, n int) []complex128 {
+	tpl := make([]complex128, n)
+	for i := range tpl {
+		tpl[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return tpl
+}
+
+func loaded(t *testing.T, tpl []complex128) *Correlator {
+	t.Helper()
+	c := New()
+	i, q := CoefficientsFromTemplate(tpl)
+	if err := c.SetCoefficients(i, q); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSetCoefficientsValidation(t *testing.T) {
+	c := New()
+	if err := c.SetCoefficients(make([]fixed.Coeff3, 10), make([]fixed.Coeff3, 64)); err == nil {
+		t.Error("short I bank accepted")
+	}
+	if err := c.SetCoefficients(make([]fixed.Coeff3, 64), make([]fixed.Coeff3, 63)); err == nil {
+		t.Error("short Q bank accepted")
+	}
+}
+
+func TestMetricPeaksAtTemplateEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tpl := randTemplate(rng, Length)
+	c := loaded(t, tpl)
+
+	// Stream 200 noise samples, then the template, then more noise; the peak
+	// metric must land exactly when the last template sample enters.
+	var peakAt int
+	var peak uint32
+	n := 0
+	feed := func(s complex128) {
+		m, _ := c.Process(fixed.Quantize(s))
+		if m > peak {
+			peak, peakAt = m, n
+		}
+		n++
+	}
+	for i := 0; i < 200; i++ {
+		feed(complex(rng.NormFloat64(), rng.NormFloat64()) * 0.05)
+	}
+	for _, s := range tpl {
+		feed(s * 0.5)
+	}
+	for i := 0; i < 100; i++ {
+		feed(complex(rng.NormFloat64(), rng.NormFloat64()) * 0.05)
+	}
+	if peakAt != 200+Length-1 {
+		t.Errorf("peak at sample %d, want %d", peakAt, 200+Length-1)
+	}
+	// A Gaussian template through 1-bit × 3-bit arithmetic accumulates
+	// partial sums of roughly ±60 per rail, so the squared metric lands in
+	// the low tens of thousands; anything below ~8000 means the arithmetic
+	// is not accumulating coherently.
+	if peak < 8000 {
+		t.Errorf("peak metric %d suspiciously low", peak)
+	}
+}
+
+func TestTriggerThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tpl := randTemplate(rng, Length)
+	peak := IdealPeakMetric(tpl)
+	c := loaded(t, tpl)
+	c.SetThreshold(peak / 2)
+
+	trig := false
+	for _, s := range tpl {
+		if _, tr := c.Process(fixed.Quantize(s)); tr {
+			trig = true
+		}
+	}
+	if !trig {
+		t.Error("matched template did not trigger at half-peak threshold")
+	}
+
+	// Uncorrelated noise at the same threshold must not trigger.
+	c.Reset()
+	for i := 0; i < 5000; i++ {
+		s := complex(rng.NormFloat64(), rng.NormFloat64())
+		if _, tr := c.Process(fixed.Quantize(s)); tr {
+			t.Fatal("noise triggered at half-peak threshold")
+		}
+	}
+}
+
+func TestNoTriggerDuringWarmup(t *testing.T) {
+	// An all-positive-coefficient correlator fed DC would instantly cross
+	// any small threshold, but must hold off until 64 samples are in.
+	c := New()
+	ones := make([]fixed.Coeff3, Length)
+	for i := range ones {
+		ones[i] = 3
+	}
+	if err := c.SetCoefficients(ones, make([]fixed.Coeff3, Length)); err != nil {
+		t.Fatal(err)
+	}
+	c.SetThreshold(1)
+	for i := 0; i < Length-1; i++ {
+		if _, tr := c.Process(fixed.IQ{I: 32767, Q: 0}); tr {
+			t.Fatalf("triggered during warmup at sample %d", i)
+		}
+	}
+	if _, tr := c.Process(fixed.IQ{I: 32767, Q: 0}); !tr {
+		t.Error("did not trigger once window filled")
+	}
+}
+
+func TestResetClearsHistory(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tpl := randTemplate(rng, Length)
+	c := loaded(t, tpl)
+	for _, s := range tpl {
+		c.Process(fixed.Quantize(s))
+	}
+	before := c.Metric()
+	c.Reset()
+	if c.Metric() != 0 {
+		t.Error("Reset did not clear metric")
+	}
+	// After reset the same template must reproduce the same metric.
+	for _, s := range tpl {
+		c.Process(fixed.Quantize(s))
+	}
+	if c.Metric() != before {
+		t.Errorf("metric after reset %d != %d", c.Metric(), before)
+	}
+}
+
+// The sign-bit correlator metric is invariant to any global phase rotation
+// that maps the quadrant grid to itself (multiples of 90°): rotating input
+// by i permutes (I,Q) signs and the complex magnitude is unchanged.
+func TestQuadrantRotationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tpl := randTemplate(r, Length)
+		rot := complex(0, 1)
+
+		c1 := loaded(t, tpl)
+		c2 := loaded(t, tpl)
+		var m1, m2 uint32
+		for _, s := range tpl {
+			m1, _ = c1.Process(fixed.Quantize(s * 0.5))
+			m2, _ = c2.Process(fixed.Quantize(s * 0.5 * rot))
+		}
+		return m1 == m2
+	}
+	_ = rng
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAmplitudeInvariance(t *testing.T) {
+	// Sign-bit slicing makes the metric independent of input amplitude.
+	rng := rand.New(rand.NewSource(5))
+	tpl := randTemplate(rng, Length)
+	c1 := loaded(t, tpl)
+	c2 := loaded(t, tpl)
+	var m1, m2 uint32
+	for _, s := range tpl {
+		m1, _ = c1.Process(fixed.Quantize(s * 0.9))
+		m2, _ = c2.Process(fixed.Quantize(s * 0.01))
+	}
+	if m1 != m2 {
+		t.Errorf("amplitude changed metric: %d vs %d", m1, m2)
+	}
+}
+
+func TestCoefficientsFromTemplateTruncates(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	long := randTemplate(rng, 200)
+	i1, q1 := CoefficientsFromTemplate(long)
+	i2, q2 := CoefficientsFromTemplate(long[:Length])
+	for k := 0; k < Length; k++ {
+		if i1[k] != i2[k] || q1[k] != q2[k] {
+			t.Fatal("long template must use exactly its first 64 samples")
+		}
+	}
+	// Short template zero-pads.
+	i3, _ := CoefficientsFromTemplate(long[:10])
+	for k := 10; k < Length; k++ {
+		if i3[k] != 0 {
+			t.Fatal("short template must zero-pad")
+		}
+	}
+}
+
+func TestDetectionCyclesConstant(t *testing.T) {
+	// Paper §3.1: Txcorr_det = 64 samples = 2.56 µs at 25 MSPS.
+	if DetectionCycles != 256 {
+		t.Errorf("DetectionCycles = %d, want 256", DetectionCycles)
+	}
+}
+
+func TestResourcesMatchPaper(t *testing.T) {
+	r := New().Resources()
+	if r.Slices != 2613 || r.FFs != 2647 || r.BRAMs != 12 || r.LUTs != 2818 || r.DSP48s != 2 {
+		t.Errorf("Resources = %+v, want paper Fig. 3 inset", r)
+	}
+}
+
+func TestReferenceMetricPeak(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tpl := randTemplate(rng, Length)
+	m := ReferenceMetric(tpl, tpl)
+	if m <= 0 {
+		t.Error("self-correlation must be positive")
+	}
+	// Mismatched random window correlates much lower on average.
+	other := randTemplate(rng, Length)
+	if ReferenceMetric(other, tpl) >= m {
+		t.Error("random window out-correlated the matched template")
+	}
+}
+
+func TestNoiseMetricVariance(t *testing.T) {
+	i := []fixed.Coeff3{3, -2, 0}
+	q := []fixed.Coeff3{1, 0, 2}
+	// V = (9+1) + (4+0) + (0+4) = 18.
+	if v := NoiseMetricVariance(i, q); v != 18 {
+		t.Errorf("V = %v, want 18", v)
+	}
+	if v := NoiseMetricVariance(nil, nil); v != 0 {
+		t.Errorf("empty V = %v", v)
+	}
+}
+
+func TestThresholdForFARate(t *testing.T) {
+	tpl := randTemplate(rand.New(rand.NewSource(8)), Length)
+	i, q := CoefficientsFromTemplate(tpl)
+	loose := ThresholdForFARate(i, q, 1.0)
+	tight := ThresholdForFARate(i, q, 0.001)
+	if tight <= loose {
+		t.Errorf("tighter FA target must raise the threshold: %d vs %d", tight, loose)
+	}
+	// Degenerate inputs saturate safely.
+	if ThresholdForFARate(nil, nil, 1) != math.MaxUint32 {
+		t.Error("zero-variance banks should disable the trigger")
+	}
+	if ThresholdForFARate(i, q, 0) != math.MaxUint32 {
+		t.Error("zero FA target should disable the trigger")
+	}
+	// An absurdly loose target clamps to at least 1.
+	if thr := ThresholdForFARate(i, q, 1e12); thr < 1 {
+		t.Errorf("loose threshold %d", thr)
+	}
+}
+
+func TestThresholdFAEmpirical(t *testing.T) {
+	// The analytic χ² threshold must actually bound the empirical FA rate:
+	// at a 100/s target over 2M noise samples we expect ~8 triggers; allow
+	// generous slack but catch order-of-magnitude miscalibration.
+	tpl := randTemplate(rand.New(rand.NewSource(9)), Length)
+	i, q := CoefficientsFromTemplate(tpl)
+	thr := ThresholdForFARate(i, q, 1000)
+	c := New()
+	if err := c.SetCoefficients(i, q); err != nil {
+		t.Fatal(err)
+	}
+	c.SetThreshold(thr)
+	rng := rand.New(rand.NewSource(10))
+	const n = 2_000_000
+	edges := 0
+	prev := false
+	for k := 0; k < n; k++ {
+		_, tr := c.Process(fixed.Quantize(complex(rng.NormFloat64(), rng.NormFloat64()) * 0.1))
+		if tr && !prev {
+			edges++
+		}
+		prev = tr
+	}
+	// 1000/s at 25 MSPS over 2M samples ⇒ expect ~80 edges.
+	if edges < 8 || edges > 800 {
+		t.Errorf("empirical FA edges = %d over %d samples, want ~80", edges, n)
+	}
+}
