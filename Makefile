@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: ci build vet test race bench
+
+## ci: the full tier-1 verify path — vet, build, tests, then the race
+## detector over every package (the register bus, clock and telemetry
+## recorder are exercised cross-goroutine by design).
+ci: vet build test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -13,9 +13,15 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/defense"
 	"repro/internal/experiments"
+	"repro/internal/host"
 	"repro/internal/iperf"
+	"repro/internal/jammer"
+	"repro/internal/radio"
+	"repro/internal/telemetry"
+	"repro/internal/trigger"
 	"repro/internal/wifi"
 )
 
@@ -293,6 +299,79 @@ func BenchmarkCorePerSample(b *testing.B) {
 		n += len(out)
 	}
 	b.ReportMetric(float64(n)/b.Elapsed().Seconds()/1e6, "Msamples/s")
+}
+
+// newTelemetryBenchCore builds an energy-armed, jamming core plus an input
+// buffer whose quiet→burst→quiet shape exercises detections, trigger fires
+// and full jam-burst lifecycles.
+func newTelemetryBenchCore(tb testing.TB) (*core.Core, []complex128) {
+	tb.Helper()
+	r := radio.New()
+	h := host.New(r.Core())
+	if _, err := h.ProgramEnergy(10, 0); err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := h.ProgramTrigger(core.FusionSequence,
+		[]trigger.Event{trigger.EventEnergyHigh}, 0); err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := h.ProgramJammer(host.Personality{
+		Waveform: jammer.WaveformWGN, Uptime: 10 * time.Microsecond, Gain: 1,
+	}); err != nil {
+		tb.Fatal(err)
+	}
+	r.Start()
+	buf := make([]complex128, 4096)
+	for i := range buf {
+		switch {
+		case i >= 1024 && i < 1536: // burst
+			buf[i] = complex(0.3, 0.1)
+		default: // noise floor
+			buf[i] = complex(1e-4*float64(i%5-2), 0)
+		}
+	}
+	return r.Core(), buf
+}
+
+// BenchmarkTelemetryRecorder compares the per-sample datapath cost with the
+// default no-op recorder against a live recorder (journal + histograms +
+// counters attached).
+func BenchmarkTelemetryRecorder(b *testing.B) {
+	for _, mode := range []string{"nop", "live"} {
+		b.Run(mode, func(b *testing.B) {
+			c, buf := newTelemetryBenchCore(b)
+			if mode == "live" {
+				c.SetRecorder(telemetry.NewLive(1 << 12))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.ProcessSample(buf[i%len(buf)])
+			}
+		})
+	}
+}
+
+// TestRecorderZeroAllocs pins the tentpole guarantee: the instrumented
+// sample loop performs zero heap allocations per sample — with the default
+// no-op recorder AND with a live recorder attached (ring journal and
+// histograms are preallocated).
+func TestRecorderZeroAllocs(t *testing.T) {
+	for _, mode := range []string{"nop", "live"} {
+		c, buf := newTelemetryBenchCore(t)
+		if mode == "live" {
+			c.SetRecorder(telemetry.NewLive(1 << 12))
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			for _, s := range buf {
+				c.ProcessSample(s)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s recorder: %.1f allocs per 4096-sample run, want 0",
+				mode, allocs)
+		}
+	}
 }
 
 // BenchmarkProtocolSelectivity reports the §2.3 protocol-awareness matrix:

@@ -19,10 +19,11 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/iperf"
+	"repro/internal/telemetry"
 )
 
 var (
-	runFlag  = flag.String("run", "all", "experiment: all, fig5, fig6, fig7, fig8, table1, fig10, fig11, fig12, selectivity, resources, reconfig, ablations")
+	runFlag  = flag.String("run", "all", "experiment: all, fig5, fig6, fig7, fig8, table1, fig10, fig11, fig12, selectivity, resources, reconfig, ablations, reaction")
 	fullFlag = flag.Bool("full", false, "paper-scale statistical budgets (slow)")
 )
 
@@ -67,12 +68,31 @@ func main() {
 	run("resources", func() error { return resources() })
 	run("reconfig", func() error { return reconfig() })
 	run("ablations", func() error { return ablations() })
+	run("reaction", func() error { return reaction(frames / 3) })
 
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", sel)
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+func reaction(frames int) error {
+	fmt.Println("measured reaction latency, energy trigger on 802.11g frames")
+	fmt.Println("(paper Fig. 5 budget: Ten_det 1.28 µs + Tinit 80 ns = 1.36 µs,")
+	fmt.Println(" plus the receive front end's resampler group delay)")
+	res, err := experiments.MeasureReactionLatency(experiments.ReactionConfig{
+		Frames: frames, Seed: 7,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  frames %d, jam bursts %d\n", res.Frames, res.Triggered)
+	fmt.Printf("  reaction p50 %v  p99 %v\n", res.ReactionP50, res.ReactionP99)
+	fmt.Printf("  trigger→RF p50 %v (Tinit, paper: ≈80 ns)\n", res.TriggerToRFP50)
+	h := res.Snapshot.Histogram(telemetry.HistReaction)
+	telemetry.WriteHistogramTable(os.Stdout, h)
+	return nil
 }
 
 func fig5() error {

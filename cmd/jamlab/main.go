@@ -20,17 +20,32 @@
 //	save                          finalize the recording
 //	replay <file>                 stream a recorded capture into the detector
 //	timelines                     print the Fig. 5 latency budget
-//	stats                         print host feedback counters
+//	stats                         poll host feedback counters
 //	reset                         clear counters and datapath state
 //	quit
+//
+// Flags:
+//
+//	-telemetry-addr host:port     serve Prometheus-style metrics at /metrics
+//	                              and net/http/pprof at /debug/pprof/
+//	-trace-out file.json          dump the event journal as Chrome
+//	                              trace_event JSON at exit
+//
+// Either flag attaches the live telemetry recorder; injected frames are
+// marked so reaction-latency histograms measure frame-start→RF-on. A
+// one-line telemetry summary prints on shutdown.
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"io"
 	"log"
 	"math/rand"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -54,16 +69,42 @@ type console struct {
 	recPath string
 }
 
+var (
+	telemetryAddr = flag.String("telemetry-addr", "",
+		"serve /metrics and /debug/pprof/ on this address (enables telemetry)")
+	traceOut = flag.String("trace-out", "",
+		"write Chrome trace_event JSON here at exit (enables telemetry)")
+)
+
 func main() {
+	flag.Parse()
 	c := &console{
 		jam:  reactivejam.New(),
 		rng:  rand.New(rand.NewSource(1)),
 		out:  os.Stdout,
 		rate: 25_000_000,
 	}
+	if *telemetryAddr != "" || *traceOut != "" {
+		c.jam.EnableTelemetry()
+	}
+	if *telemetryAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", c.jam.MetricsHandler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ln, err := net.Listen("tcp", *telemetryAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(c.out, "telemetry: http://%s/metrics, pprof at /debug/pprof/\n", ln.Addr())
+		go func() { log.Fatal(http.Serve(ln, mux)) }()
+	}
 	var in io.Reader = os.Stdin
-	if len(os.Args) > 1 {
-		in = strings.NewReader(strings.ReplaceAll(strings.Join(os.Args[1:], " "), ";", "\n"))
+	if args := flag.Args(); len(args) > 0 {
+		in = strings.NewReader(strings.ReplaceAll(strings.Join(args, " "), ";", "\n"))
 	}
 	sc := bufio.NewScanner(in)
 	fmt.Fprintln(c.out, "jamlab — reactive jamming event builder (type 'quit' to exit)")
@@ -73,7 +114,7 @@ func main() {
 			continue
 		}
 		if line == "quit" || line == "exit" {
-			return
+			break
 		}
 		if err := c.eval(line); err != nil {
 			fmt.Fprintf(c.out, "error: %v\n", err)
@@ -82,6 +123,32 @@ func main() {
 	if err := sc.Err(); err != nil {
 		log.Fatal(err)
 	}
+	c.shutdown(*traceOut)
+}
+
+// shutdown dumps the trace file and prints the one-line telemetry summary.
+func (c *console) shutdown(tracePath string) {
+	if !c.jam.TelemetryEnabled() {
+		return
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := c.jam.WriteTrace(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(c.out, "trace written to %s\n", tracePath)
+	}
+	s := c.jam.Summary()
+	fmt.Fprintf(c.out,
+		"telemetry: %d samples, %d jam bursts, reaction p50 %v p99 %v, %d journal events\n",
+		s.Samples, s.JamTriggers, s.ReactionP50, s.ReactionP99, s.Events)
 }
 
 func (c *console) eval(line string) error {
@@ -100,10 +167,11 @@ func (c *console) eval(line string) error {
 			tl.ResponseEnergy, tl.ResponseXCorr, tl.JamBurst)
 		return nil
 	case "stats":
-		st := c.jam.Stats()
-		fmt.Fprintf(c.out, "samples %d  xcorr %d  energy-high %d  energy-low %d  triggers %d  jam-samples %d\n",
+		st := c.jam.Poll()
+		fmt.Fprintf(c.out, "samples %d  xcorr %d  energy-high %d  energy-low %d  triggers %d  jam-samples %d  reg-writes %d  polls %d\n",
 			st.Samples, st.XCorrDetections, st.EnergyHighDetections,
-			st.EnergyLowDetections, st.JamTriggers, st.JamSamples)
+			st.EnergyLowDetections, st.JamTriggers, st.JamSamples,
+			st.RegWrites, st.HostPolls)
 		return nil
 	case "record":
 		if len(f) < 2 {
@@ -310,6 +378,7 @@ func (c *console) inject(args []string) error {
 				return err
 			}
 			buf := c.pad(frame.Clone().Scale(0.3), 512)
+			c.jam.MarkFrame(512)
 			tx, err := c.process(buf)
 			if err != nil {
 				return err
@@ -344,6 +413,7 @@ func (c *console) inject(args []string) error {
 			if err != nil {
 				return err
 			}
+			c.jam.MarkFrame(512)
 			if _, err := c.process(c.pad(frame.Clone().Scale(0.3), 512)); err != nil {
 				return err
 			}
@@ -367,6 +437,7 @@ func (c *console) inject(args []string) error {
 				return err
 			}
 			buf := c.pad(frame[:20*wimax.SymbolLen].Clone().Scale(0.3), 2048)
+			c.jam.MarkFrame(2048)
 			if _, err := c.process(buf); err != nil {
 				return err
 			}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/fixed"
 	"repro/internal/fpga"
 	"repro/internal/jammer"
+	"repro/internal/telemetry"
 	"repro/internal/trigger"
 	"repro/internal/xcorr"
 )
@@ -37,7 +38,9 @@ const (
 	FusionAny
 )
 
-// Stats carries the host-feedback counters of the core.
+// Stats carries the host-feedback counters of the core. It is a snapshot
+// of the telemetry counter block — the same memory the exposition endpoint
+// reads — so host feedback and telemetry can never drift apart.
 type Stats struct {
 	// Samples is the number of baseband samples processed.
 	Samples uint64
@@ -50,6 +53,10 @@ type Stats struct {
 	JamTriggers uint64
 	// JamSamples counts transmitted jamming samples.
 	JamSamples uint64
+	// RegWrites counts user register-bus writes.
+	RegWrites uint64
+	// HostPolls counts host-feedback polls.
+	HostPolls uint64
 }
 
 // Core is the complete custom DSP core. Construct with New. Core is not
@@ -72,7 +79,8 @@ type Core struct {
 	fusion FusionMode
 	events []trigger.Event
 
-	stats Stats
+	counters *telemetry.Counters
+	rec      telemetry.Recorder
 
 	antenna uint8
 }
@@ -85,19 +93,95 @@ const EdgeHoldoff = 16
 // a single-stage energy-high trigger, and the jammer in its defaults.
 func New() *Core {
 	c := &Core{
-		bus:    fpga.NewRegisterBus(),
-		xc:     xcorr.New(),
-		en:     energy.New(),
-		sm:     trigger.New(trigger.EventEnergyHigh),
-		jam:    jammer.New(),
-		edgeX:  trigger.NewEdgeDetector(EdgeHoldoff),
-		edgeH:  trigger.NewEdgeDetector(EdgeHoldoff),
-		edgeL:  trigger.NewEdgeDetector(EdgeHoldoff),
-		fusion: FusionSequence,
-		events: []trigger.Event{trigger.EventEnergyHigh},
+		bus:      fpga.NewRegisterBus(),
+		xc:       xcorr.New(),
+		en:       energy.New(),
+		sm:       trigger.New(trigger.EventEnergyHigh),
+		jam:      jammer.New(),
+		edgeX:    trigger.NewEdgeDetector(EdgeHoldoff),
+		edgeH:    trigger.NewEdgeDetector(EdgeHoldoff),
+		edgeL:    trigger.NewEdgeDetector(EdgeHoldoff),
+		fusion:   FusionSequence,
+		events:   []trigger.Event{trigger.EventEnergyHigh},
+		counters: &telemetry.Counters{},
+		rec:      telemetry.Discard,
 	}
 	c.installRegisterDecode()
+	c.installInstrumentation()
 	return c
+}
+
+// installInstrumentation routes block-level transitions into the recorder.
+// The hooks live for the core's lifetime and read c.rec on every firing, so
+// SetRecorder swaps take effect immediately.
+func (c *Core) installInstrumentation() {
+	c.bus.WatchAll(func(addr uint8, value uint32) {
+		c.counters.RegWrites.Add(1)
+		c.rec.Event(telemetry.EvRegWrite, c.clock.Cycle(),
+			uint64(addr)<<32|uint64(value))
+	})
+	c.sm.OnTransition(func(from, to int, fired bool) {
+		if fired {
+			return // the fire event is emitted by ProcessSample
+		}
+		switch {
+		case from == 0 && to > 0:
+			c.rec.Event(telemetry.EvTriggerArm, c.clock.Cycle(), uint64(to))
+		case to > from:
+			c.rec.Event(telemetry.EvTriggerStage, c.clock.Cycle(), uint64(to))
+		case to < from:
+			c.rec.Event(telemetry.EvTriggerAbandon, c.clock.Cycle(), uint64(from))
+		}
+	})
+	c.jam.OnPhase(func(from, to jammer.Phase) {
+		switch {
+		case to == jammer.PhaseDelay:
+			c.rec.Event(telemetry.EvJamDelay, c.clock.Cycle(), 0)
+		case to == jammer.PhaseInit:
+			c.rec.Event(telemetry.EvJamInit, c.clock.Cycle(), 0)
+		case to == jammer.PhaseJamming:
+			c.rec.Event(telemetry.EvJamRFOn, c.clock.Cycle(), 0)
+		case to == jammer.PhaseIdle && from == jammer.PhaseJamming:
+			c.rec.Event(telemetry.EvJamRFOff, c.clock.Cycle(), 0)
+		}
+	})
+}
+
+// SetRecorder installs a telemetry recorder (telemetry.Discard to disable).
+// A *telemetry.Live recorder is additionally bound to the core's counter
+// block so its exposition reads the same counters Stats snapshots. Swap
+// recorders only while the sample loop is quiescent.
+func (c *Core) SetRecorder(r telemetry.Recorder) {
+	if r == nil {
+		r = telemetry.Discard
+	}
+	if l, ok := r.(*telemetry.Live); ok {
+		l.BindCounters(c.counters)
+	}
+	c.rec = r
+}
+
+// Recorder returns the installed telemetry recorder.
+func (c *Core) Recorder() telemetry.Recorder { return c.rec }
+
+// Counters exposes the telemetry counter block (shared with Stats and the
+// exposition endpoint).
+func (c *Core) Counters() *telemetry.Counters { return c.counters }
+
+// MarkFrameStart journals a frame-start marker at the given hardware clock
+// cycle. Measurement harnesses call it when they know where an injected
+// frame begins, which is what anchors the end-to-end reaction-latency
+// histogram.
+func (c *Core) MarkFrameStart(cycle uint64) {
+	c.rec.Event(telemetry.EvFrameStart, cycle, 0)
+}
+
+// PollFeedback reads the host-feedback counters the way the host
+// application does ("Synchro Flags" in Fig. 1), counting the poll itself.
+func (c *Core) PollFeedback() Stats {
+	c.counters.HostPolls.Add(1)
+	c.rec.Event(telemetry.EvHostPoll, c.clock.Cycle(), 0)
+	return c.Stats()
 }
 
 // Bus returns the user register bus for host-side programming.
@@ -134,10 +218,22 @@ func (c *Core) SetFusion(mode FusionMode, events []trigger.Event, window uint64)
 func (c *Core) Antenna() uint8 { return c.antenna }
 
 // Stats returns a snapshot of the host-feedback counters.
-func (c *Core) Stats() Stats { return c.stats }
+func (c *Core) Stats() Stats {
+	s := c.counters.Snapshot()
+	return Stats{
+		Samples:              s.Samples,
+		XCorrDetections:      s.XCorrDetections,
+		EnergyHighDetections: s.EnergyHighDetections,
+		EnergyLowDetections:  s.EnergyLowDetections,
+		JamTriggers:          s.JamTriggers,
+		JamSamples:           s.JamSamples,
+		RegWrites:            s.RegWrites,
+		HostPolls:            s.HostPolls,
+	}
+}
 
 // ResetStats clears the feedback counters only.
-func (c *Core) ResetStats() { c.stats = Stats{} }
+func (c *Core) ResetStats() { c.counters.Reset() }
 
 // ResetDatapath clears all sample state (detector histories, trigger FSM,
 // jammer state, counters) while keeping the register configuration.
@@ -149,8 +245,8 @@ func (c *Core) ResetDatapath() {
 	c.edgeX.Reset()
 	c.edgeH.Reset()
 	c.edgeL.Reset()
-	c.stats = Stats{}
-	c.clock = fpga.Clock{}
+	c.counters.Reset()
+	c.clock.Reset()
 }
 
 // Clock returns the core's hardware clock (advances 4 cycles per sample).
@@ -160,7 +256,7 @@ func (c *Core) Clock() *fpga.Clock { return &c.clock }
 // transmit-path output for the same sample tick.
 func (c *Core) ProcessSample(rx complex128) (tx complex128) {
 	c.clock.AdvanceSamples(1)
-	c.stats.Samples++
+	c.counters.Samples.Add(1)
 	q := fixed.Quantize(rx)
 
 	_, xcLevel := c.xc.Process(q)
@@ -172,13 +268,16 @@ func (c *Core) ProcessSample(rx complex128) (tx complex128) {
 		EnergyLow:  c.edgeL.Process(enLow),
 	}
 	if in.XCorr {
-		c.stats.XCorrDetections++
+		c.counters.XCorrDetections.Add(1)
+		c.rec.Event(telemetry.EvXCorrEdge, c.clock.Cycle(), 0)
 	}
 	if in.EnergyHigh {
-		c.stats.EnergyHighDetections++
+		c.counters.EnergyHighDetections.Add(1)
+		c.rec.Event(telemetry.EvEnergyHighEdge, c.clock.Cycle(), 0)
 	}
 	if in.EnergyLow {
-		c.stats.EnergyLowDetections++
+		c.counters.EnergyLowDetections.Add(1)
+		c.rec.Event(telemetry.EvEnergyLowEdge, c.clock.Cycle(), 0)
 	}
 
 	var fire bool
@@ -198,12 +297,13 @@ func (c *Core) ProcessSample(rx complex128) (tx complex128) {
 		fire = c.sm.Process(in)
 	}
 	if fire {
-		c.stats.JamTriggers++
+		c.counters.JamTriggers.Add(1)
+		c.rec.Event(telemetry.EvTriggerFire, c.clock.Cycle(), 0)
 	}
 
 	tx = c.jam.Process(q, fire)
 	if tx != 0 {
-		c.stats.JamSamples++
+		c.counters.JamSamples.Add(1)
 	}
 	return tx
 }

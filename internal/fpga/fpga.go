@@ -14,6 +14,7 @@ package fpga
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -33,26 +34,31 @@ const (
 )
 
 // Clock is the FPGA clock domain. The zero value is a clock at cycle 0.
+// The cycle count is updated atomically so host-side observers (telemetry,
+// register-bus watchers) may read it while the datapath advances it.
 type Clock struct {
-	cycle uint64
+	cycle atomic.Uint64
 }
 
 // Cycle returns the current hardware clock cycle count.
-func (c *Clock) Cycle() uint64 { return c.cycle }
+func (c *Clock) Cycle() uint64 { return c.cycle.Load() }
 
 // Sample returns the current baseband sample index (cycle / 4).
-func (c *Clock) Sample() uint64 { return c.cycle / CyclesPerSample }
+func (c *Clock) Sample() uint64 { return c.Cycle() / CyclesPerSample }
 
 // Now returns the elapsed simulated time.
 func (c *Clock) Now() time.Duration {
-	return time.Duration(c.cycle) * ClockPeriod
+	return time.Duration(c.Cycle()) * ClockPeriod
 }
 
 // AdvanceCycles moves the clock forward by n cycles.
-func (c *Clock) AdvanceCycles(n uint64) { c.cycle += n }
+func (c *Clock) AdvanceCycles(n uint64) { c.cycle.Add(n) }
 
 // AdvanceSamples moves the clock forward by n baseband samples.
-func (c *Clock) AdvanceSamples(n uint64) { c.cycle += n * CyclesPerSample }
+func (c *Clock) AdvanceSamples(n uint64) { c.cycle.Add(n * CyclesPerSample) }
+
+// Reset returns the clock to cycle 0.
+func (c *Clock) Reset() { c.cycle.Store(0) }
 
 // CyclesToDuration converts a cycle count to wall time at the 100 MHz clock.
 func CyclesToDuration(cycles uint64) time.Duration {

@@ -33,11 +33,13 @@ type RegWatcher func(addr uint8, value uint32)
 // It is safe for concurrent use: the host-side application and the sample
 // clocked core may touch it from different goroutines.
 type RegisterBus struct {
-	mu       sync.RWMutex
-	regs     [NumUserRegisters]uint32
-	written  [NumUserRegisters]bool
-	watchers map[uint8][]RegWatcher
-	writes   uint64
+	mu          sync.RWMutex
+	regs        [NumUserRegisters]uint32
+	written     [NumUserRegisters]bool
+	watchers    map[uint8][]RegWatcher
+	watchersAll []RegWatcher
+	writes      uint64
+	reads       uint64
 }
 
 // NewRegisterBus returns an empty register file.
@@ -55,7 +57,11 @@ func (b *RegisterBus) Write(addr uint8, value uint32) error {
 	b.written[addr] = true
 	b.writes++
 	watchers := b.watchers[addr]
+	all := b.watchersAll
 	b.mu.Unlock()
+	for _, w := range all {
+		w(addr, value)
+	}
 	for _, w := range watchers {
 		w(addr, value)
 	}
@@ -67,8 +73,9 @@ func (b *RegisterBus) Read(addr uint8) (uint32, error) {
 	if addr == 0 {
 		return 0, fmt.Errorf("%w: register 0 is reserved by UHD", ErrBadRegister)
 	}
-	b.mu.RLock()
-	defer b.mu.RUnlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.reads++
 	return b.regs[addr], nil
 }
 
@@ -79,11 +86,26 @@ func (b *RegisterBus) Watch(addr uint8, w RegWatcher) {
 	b.watchers[addr] = append(b.watchers[addr], w)
 }
 
+// WatchAll registers a callback invoked before per-address watchers on
+// every write — the bus access log the telemetry layer taps.
+func (b *RegisterBus) WatchAll(w RegWatcher) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.watchersAll = append(b.watchersAll, w)
+}
+
 // WriteCount returns the total number of register writes performed.
 func (b *RegisterBus) WriteCount() uint64 {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	return b.writes
+}
+
+// ReadCount returns the total number of register reads performed.
+func (b *RegisterBus) ReadCount() uint64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.reads
 }
 
 // WriteLatency returns the modeled host-to-core latency for n consecutive

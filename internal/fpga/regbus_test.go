@@ -3,6 +3,7 @@ package fpga
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
@@ -95,6 +96,66 @@ func TestWriteLatency(t *testing.T) {
 	}
 	if WriteLatency(-1) != 0 {
 		t.Error("negative count should clamp")
+	}
+}
+
+// TestRegisterBusWatcherConcurrency exercises the full concurrent surface
+// the telemetry layer depends on — WatchAll hooks firing while another
+// goroutine writes, reads and scans the register file. Run under
+// `go test -race` (the CI target does) to prove the bus access log is
+// race-free.
+func TestRegisterBusWatcherConcurrency(t *testing.T) {
+	b := NewRegisterBus()
+	var all, addr9 atomic.Uint64
+	b.WatchAll(func(a uint8, v uint32) { all.Add(1) })
+	b.Watch(9, func(a uint8, v uint32) { addr9.Add(1) })
+
+	const perG = 500
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { // host-style writer
+		defer wg.Done()
+		for i := 0; i < perG; i++ {
+			if err := b.Write(uint8(1+i%255), uint32(i)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() { // feedback poller
+		defer wg.Done()
+		for i := 0; i < perG; i++ {
+			if _, err := b.Read(uint8(1 + i%255)); err != nil {
+				t.Error(err)
+				return
+			}
+			_ = b.ReadCount()
+		}
+	}()
+	go func() { // telemetry snapshotter
+		defer wg.Done()
+		for i := 0; i < perG/10; i++ {
+			_ = b.UsedRegisters()
+			_ = b.WriteCount()
+		}
+	}()
+	wg.Wait()
+
+	if got := all.Load(); got != perG {
+		t.Errorf("WatchAll saw %d writes, want %d", got, perG)
+	}
+	// Writes cycle addresses 1..255; address 9 is hit for i≡8 (mod 255).
+	var want9 uint64
+	for i := 0; i < perG; i++ {
+		if 1+i%255 == 9 {
+			want9++
+		}
+	}
+	if got := addr9.Load(); got != want9 {
+		t.Errorf("Watch(9) saw %d writes, want %d", got, want9)
+	}
+	if b.ReadCount() != perG {
+		t.Errorf("ReadCount = %d, want %d", b.ReadCount(), perG)
 	}
 }
 

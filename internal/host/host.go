@@ -42,6 +42,13 @@ func (h *Host) write(addr uint8, v uint32) (time.Duration, error) {
 	return fpga.RegWriteLatency, nil
 }
 
+// PollFeedback reads the core's host-feedback counters ("Synchro Flags")
+// the way the GNU Radio host polls them, journaling the poll through the
+// core's telemetry recorder.
+func (h *Host) PollFeedback() core.Stats {
+	return h.core.PollFeedback()
+}
+
 // ProgramCorrelator quantizes the template into the two coefficient banks,
 // writes them plus the threshold, and returns the total bus latency.
 // thresholdFrac sets the trigger threshold as a fraction of the template's

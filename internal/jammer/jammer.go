@@ -68,14 +68,40 @@ const (
 	InitSamples = InitCycles / fpga.CyclesPerSample
 )
 
-type state uint8
+// Phase is the transmit controller's lifecycle state. Exported so the
+// telemetry layer can journal burst phase transitions.
+type Phase uint8
 
+// The controller phases, in lifecycle order.
 const (
-	stateIdle state = iota
-	stateDelay
-	stateInit
-	stateJamming
+	// PhaseIdle: no burst in progress; the replay capture runs.
+	PhaseIdle Phase = iota
+	// PhaseDelay: trigger accepted, surgical delay counting down.
+	PhaseDelay
+	// PhaseInit: filling the DUC pipeline (InitCycles to RF).
+	PhaseInit
+	// PhaseJamming: jamming waveform on the air.
+	PhaseJamming
 )
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseIdle:
+		return "idle"
+	case PhaseDelay:
+		return "delay"
+	case PhaseInit:
+		return "init"
+	case PhaseJamming:
+		return "jamming"
+	default:
+		return fmt.Sprintf("phase(%d)", uint8(p))
+	}
+}
+
+// PhaseFunc observes controller phase transitions. It must not allocate;
+// it runs in the sample loop.
+type PhaseFunc func(from, to Phase)
 
 // Controller is the streaming transmit controller. Feed it one call per
 // baseband sample tick; it returns the TX sample for that tick. Not safe for
@@ -86,7 +112,9 @@ type Controller struct {
 	delay    uint64 // samples between trigger and TX init
 	gain     float64
 
-	st        state
+	st        Phase
+	onPhase   PhaseFunc
+	rfPending bool // RF-on notification owed with the next emitted sample
 	remaining uint64
 
 	wgn lfsrGaussian
@@ -165,12 +193,33 @@ func (c *Controller) Triggers() uint64 { return c.triggers }
 func (c *Controller) TXSamples() uint64 { return c.txCount }
 
 // Active reports whether the controller is currently emitting RF.
-func (c *Controller) Active() bool { return c.st == stateJamming }
+func (c *Controller) Active() bool { return c.st == PhaseJamming }
+
+// Phase returns the controller's current lifecycle phase.
+func (c *Controller) Phase() Phase { return c.st }
+
+// OnPhase installs the phase-transition observer (nil to remove). The
+// transition into PhaseJamming is reported on the tick of the first sample
+// that actually reaches RF, so trigger→RF-on spans exactly InitCycles.
+func (c *Controller) OnPhase(fn PhaseFunc) { c.onPhase = fn }
+
+// toPhase switches phase and notifies the observer.
+func (c *Controller) toPhase(to Phase) {
+	from := c.st
+	if from == to {
+		return
+	}
+	c.st = to
+	if c.onPhase != nil {
+		c.onPhase(from, to)
+	}
+}
 
 // Reset aborts any jamming in progress and clears counters and capture
 // state; configuration is preserved.
 func (c *Controller) Reset() {
-	c.st = stateIdle
+	c.st = PhaseIdle
+	c.rfPending = false
 	c.remaining = 0
 	c.replayPos, c.replayLen, c.playPos = 0, 0, 0
 	c.hostPos = 0
@@ -184,7 +233,7 @@ func (c *Controller) Reset() {
 func (c *Controller) Process(rx fixed.IQ, trigger bool) complex128 {
 	// The replay capture runs whenever we are not transmitting, keeping the
 	// "most recently received samples" fresh.
-	if c.st != stateJamming {
+	if c.st != PhaseJamming {
 		c.replay[c.replayPos] = rx.Complex()
 		c.replayPos = (c.replayPos + 1) % ReplayDepth
 		if c.replayLen < ReplayDepth {
@@ -192,40 +241,50 @@ func (c *Controller) Process(rx fixed.IQ, trigger bool) complex128 {
 		}
 	}
 
-	if trigger && c.st == stateIdle {
+	if trigger && c.st == PhaseIdle {
 		c.triggers++
 		if c.delay > 0 {
-			c.st = stateDelay
+			c.toPhase(PhaseDelay)
 			c.remaining = c.delay
 		} else {
-			c.st = stateInit
+			c.toPhase(PhaseInit)
 			c.remaining = InitSamples
 		}
 	}
 
 	switch c.st {
-	case stateDelay:
+	case PhaseDelay:
 		c.remaining--
 		if c.remaining == 0 {
-			c.st = stateInit
+			c.toPhase(PhaseInit)
 			c.remaining = InitSamples
 		}
 		return 0
-	case stateInit:
+	case PhaseInit:
 		c.remaining--
 		if c.remaining == 0 {
-			c.st = stateJamming
+			// Enter the jamming phase silently; the observer is notified
+			// with the first emitted sample so RF-on lands on the tick the
+			// waveform actually reaches the antenna.
+			c.st = PhaseJamming
+			c.rfPending = true
 			c.remaining = c.uptime
 			c.playPos = 0
 			c.hostPos = 0
 		}
 		return 0
-	case stateJamming:
+	case PhaseJamming:
+		if c.rfPending {
+			c.rfPending = false
+			if c.onPhase != nil {
+				c.onPhase(PhaseInit, PhaseJamming)
+			}
+		}
 		out := c.waveformSample()
 		c.txCount++
 		c.remaining--
 		if c.remaining == 0 {
-			c.st = stateIdle
+			c.toPhase(PhaseIdle)
 		}
 		return out
 	default:

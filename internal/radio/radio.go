@@ -37,7 +37,8 @@ type N210 struct {
 	rxGainDB float64
 	txGainDB float64
 
-	ddc *dsp.Resampler // source-rate → 25 MSPS, when needed
+	ddc      *dsp.Resampler // source-rate → 25 MSPS, when needed
+	sourceHz int
 
 	started bool
 }
@@ -45,7 +46,7 @@ type N210 struct {
 // New returns a radio with a fresh DSP core, tuned to WiFi channel 14
 // (2.484 GHz, the paper's §4.1 setting) with 0 dB gains.
 func New() *N210 {
-	return &N210{core: core.New(), centerHz: 2.484e9}
+	return &N210{core: core.New(), centerHz: 2.484e9, sourceHz: fpga.SampleRateHz}
 }
 
 // Core exposes the custom DSP core (and through it the register bus).
@@ -105,6 +106,7 @@ func (r *N210) SetSourceRate(sourceHz int) error {
 	if sourceHz <= 0 {
 		return fmt.Errorf("radio: invalid source rate %d", sourceHz)
 	}
+	r.sourceHz = sourceHz
 	if sourceHz == fpga.SampleRateHz {
 		r.ddc = nil
 		return nil
@@ -112,6 +114,23 @@ func (r *N210) SetSourceRate(sourceHz int) error {
 	g := gcd(fpga.SampleRateHz, sourceHz)
 	r.ddc = dsp.NewResampler(fpga.SampleRateHz/g, sourceHz/g, 8)
 	return nil
+}
+
+// SourceRate returns the declared input sample rate in Hz.
+func (r *N210) SourceRate() int { return r.sourceHz }
+
+// MarkFrame journals a telemetry frame-start marker for a frame that will
+// begin offsetSourceSamples into the *next* buffer handed to Process. The
+// offset is converted from source-rate samples to core samples through the
+// DDC ratio, so reaction-latency histograms measure from the frame boundary
+// the core actually sees.
+func (r *N210) MarkFrame(offsetSourceSamples int) {
+	if offsetSourceSamples < 0 {
+		offsetSourceSamples = 0
+	}
+	coreSamples := uint64(offsetSourceSamples) * fpga.SampleRateHz / uint64(r.sourceHz)
+	cycle := r.core.Clock().Cycle() + coreSamples*fpga.CyclesPerSample
+	r.core.MarkFrameStart(cycle)
 }
 
 // Process streams a block of received baseband through the DDC (if any) and

@@ -59,6 +59,64 @@ func TestCaptureHoldoffSuppressesRetrigger(t *testing.T) {
 	}
 }
 
+func TestCaptureTriggerAtSampleZero(t *testing.T) {
+	s, err := New(0.5, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A record already above level at sample 0 counts as a rising edge:
+	// there is no earlier sample, so the scope must not miss a burst that
+	// started before the capture window.
+	x := burstWave([][2]int{{0, 30}}, 200, 1.0)
+	traces := s.Capture(x)
+	if len(traces) != 1 || traces[0].Start != 0 {
+		t.Fatalf("burst at sample 0: %+v", traces)
+	}
+}
+
+func TestCaptureBackToBackAtHoldoffBoundary(t *testing.T) {
+	s, err := New(0.5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetHoldoff(50)
+	// First trigger at 100 starts the holdoff, which consumes samples
+	// 101..150. A second rising edge landing exactly at 100+holdoff is
+	// still inside the quiet countdown and is swallowed; the envelope is
+	// back below level by the time re-triggering is possible, so no second
+	// trace. This is the documented boundary: the first re-triggerable
+	// edge is holdoff+1 samples after the previous trigger.
+	x := burstWave([][2]int{{100, 110}, {150, 160}}, 400, 1.0)
+	if n := len(s.Capture(x)); n != 1 {
+		t.Errorf("edge exactly at holdoff: %d traces, want 1", n)
+	}
+	// One sample later the edge falls past the countdown and re-triggers.
+	x = burstWave([][2]int{{100, 110}, {151, 161}}, 400, 1.0)
+	traces := s.Capture(x)
+	if len(traces) != 2 || traces[1].Start != 151 {
+		t.Errorf("edge at holdoff+1: %+v", traces)
+	}
+}
+
+func TestSetHoldoffClampsToOne(t *testing.T) {
+	s, err := New(0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetHoldoff(0)
+	// With the minimum holdoff of 1, two edges separated by a single
+	// below-level sample both capture; a zero holdoff would have been a
+	// no-op countdown but must not be accepted (quiet=0 means "armed").
+	x := burstWave([][2]int{{10, 12}, {14, 16}}, 40, 1.0)
+	traces := s.Capture(x)
+	if len(traces) != 2 {
+		t.Fatalf("holdoff clamp: %d traces, want 2", len(traces))
+	}
+	if traces[0].Start != 10 || traces[1].Start != 14 {
+		t.Errorf("trigger positions %d, %d", traces[0].Start, traces[1].Start)
+	}
+}
+
 func TestCaptureTruncatesAtEnd(t *testing.T) {
 	s, err := New(0.5, 100)
 	if err != nil {

@@ -1,0 +1,66 @@
+package telemetry
+
+import "sync/atomic"
+
+// Counters is the datapath counter block. The core increments these
+// directly (atomically, so a concurrent exposition scrape is race-free) and
+// core.Stats snapshots them; when a Live recorder is attached it is bound to
+// the same instance, so the host-feedback counters and the exposition
+// endpoint read the same memory by construction.
+//
+// Counters must not be copied once in use.
+type Counters struct {
+	// Samples counts baseband samples processed.
+	Samples atomic.Uint64
+	// XCorrDetections counts cross-correlator trigger edges.
+	XCorrDetections atomic.Uint64
+	// EnergyHighDetections and EnergyLowDetections count energy edges.
+	EnergyHighDetections atomic.Uint64
+	EnergyLowDetections  atomic.Uint64
+	// JamTriggers counts serviced jamming events.
+	JamTriggers atomic.Uint64
+	// JamSamples counts transmitted jamming samples.
+	JamSamples atomic.Uint64
+	// RegWrites counts user register-bus writes.
+	RegWrites atomic.Uint64
+	// HostPolls counts host-feedback counter reads.
+	HostPolls atomic.Uint64
+}
+
+// CounterSnapshot is a plain-value copy of the counter block.
+type CounterSnapshot struct {
+	Samples              uint64
+	XCorrDetections      uint64
+	EnergyHighDetections uint64
+	EnergyLowDetections  uint64
+	JamTriggers          uint64
+	JamSamples           uint64
+	RegWrites            uint64
+	HostPolls            uint64
+}
+
+// Snapshot returns a point-in-time copy of all counters.
+func (c *Counters) Snapshot() CounterSnapshot {
+	return CounterSnapshot{
+		Samples:              c.Samples.Load(),
+		XCorrDetections:      c.XCorrDetections.Load(),
+		EnergyHighDetections: c.EnergyHighDetections.Load(),
+		EnergyLowDetections:  c.EnergyLowDetections.Load(),
+		JamTriggers:          c.JamTriggers.Load(),
+		JamSamples:           c.JamSamples.Load(),
+		RegWrites:            c.RegWrites.Load(),
+		HostPolls:            c.HostPolls.Load(),
+	}
+}
+
+// Reset zeroes every counter.
+func (c *Counters) Reset() {
+	c.Samples.Store(0)
+	c.XCorrDetections.Store(0)
+	c.EnergyHighDetections.Store(0)
+	c.EnergyLowDetections.Store(0)
+	c.JamTriggers.Store(0)
+	c.JamSamples.Store(0)
+	c.RegWrites.Store(0)
+	c.HostPolls.Store(0)
+}

@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+)
+
+// Text exposition: Prometheus-style `# TYPE` / name / value lines over the
+// counter block and the latency histograms, so a run can be scraped (or
+// just curl'ed) while it executes.
+
+const metricPrefix = "reactivejam_"
+
+// WriteMetrics renders the current counters and histograms in the
+// Prometheus text format.
+func (l *Live) WriteMetrics(w io.Writer) error {
+	s := l.Snapshot()
+	counters := []struct {
+		name string
+		v    uint64
+	}{
+		{"samples_total", s.Counters.Samples},
+		{"xcorr_detections_total", s.Counters.XCorrDetections},
+		{"energy_high_detections_total", s.Counters.EnergyHighDetections},
+		{"energy_low_detections_total", s.Counters.EnergyLowDetections},
+		{"jam_triggers_total", s.Counters.JamTriggers},
+		{"jam_samples_total", s.Counters.JamSamples},
+		{"reg_writes_total", s.Counters.RegWrites},
+		{"host_polls_total", s.Counters.HostPolls},
+		{"journal_events", uint64(s.Events)},
+		{"journal_dropped_total", s.Dropped},
+	}
+	for _, c := range counters {
+		if _, err := fmt.Fprintf(w, "# TYPE %s%s counter\n%s%s %d\n",
+			metricPrefix, c.name, metricPrefix, c.name, c.v); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if err := writeHistogram(w, h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, h HistogramSnapshot) error {
+	name := metricPrefix + h.Name
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	var cum uint64
+	for _, b := range h.Buckets {
+		cum += b[1]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b[0], cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, h.Sum, name, h.Count)
+	return err
+}
+
+// Handler returns an http.Handler serving the text exposition (mount it at
+// /metrics).
+func (l *Live) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = l.WriteMetrics(w)
+	})
+}
+
+// WriteHistogramTable renders one histogram as an aligned ASCII table with
+// cycle and microsecond columns and a bar per bucket — the worked-example
+// format used by EXPERIMENTS.md and cmd/experiments.
+func WriteHistogramTable(w io.Writer, h HistogramSnapshot) error {
+	if h.Count == 0 {
+		_, err := fmt.Fprintf(w, "%s: no observations\n", h.Name)
+		return err
+	}
+	if _, err := fmt.Fprintf(w,
+		"%s: n=%d  min=%v  p50=%v  p90=%v  p99=%v  max=%v\n",
+		h.Name, h.Count, CyclesToDuration(h.Min), CyclesToDuration(h.P50),
+		CyclesToDuration(h.P90), CyclesToDuration(h.P99), CyclesToDuration(h.Max)); err != nil {
+		return err
+	}
+	var peak uint64
+	for _, b := range h.Buckets {
+		if b[1] > peak {
+			peak = b[1]
+		}
+	}
+	sort.Slice(h.Buckets, func(i, j int) bool { return h.Buckets[i][0] < h.Buckets[j][0] })
+	for _, b := range h.Buckets {
+		bar := int(b[1] * 40 / peak)
+		if bar == 0 {
+			bar = 1
+		}
+		if _, err := fmt.Fprintf(w, "  <= %8d cyc (%9v) %7d %s\n",
+			b[0], CyclesToDuration(b[0]), b[1], bars[:bar]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+const bars = "########################################"

@@ -1,0 +1,65 @@
+package telemetry
+
+// Journal is a bounded ring buffer of datapath events. When full, the
+// oldest events are overwritten — a long run keeps the most recent window,
+// which is what a post-mortem trace wants. Appends never allocate after
+// construction. Not safe for concurrent use on its own; the Live recorder
+// serializes access.
+type Journal struct {
+	buf     []Event
+	next    int // position of the next write
+	full    bool
+	dropped uint64
+}
+
+// DefaultJournalDepth bounds the journal at 64k events (~1.5 MiB).
+const DefaultJournalDepth = 1 << 16
+
+// NewJournal returns a journal holding up to depth events (DefaultJournalDepth
+// when depth <= 0).
+func NewJournal(depth int) *Journal {
+	if depth <= 0 {
+		depth = DefaultJournalDepth
+	}
+	return &Journal{buf: make([]Event, depth)}
+}
+
+// Append records one event, overwriting the oldest when full.
+func (j *Journal) Append(e Event) {
+	if j.full {
+		j.dropped++
+	}
+	j.buf[j.next] = e
+	j.next++
+	if j.next == len(j.buf) {
+		j.next = 0
+		j.full = true
+	}
+}
+
+// Len returns the number of events currently held.
+func (j *Journal) Len() int {
+	if j.full {
+		return len(j.buf)
+	}
+	return j.next
+}
+
+// Dropped returns how many events were overwritten by ring wrap-around.
+func (j *Journal) Dropped() uint64 { return j.dropped }
+
+// Events returns the held events oldest-first as a fresh slice.
+func (j *Journal) Events() []Event {
+	out := make([]Event, 0, j.Len())
+	if j.full {
+		out = append(out, j.buf[j.next:]...)
+	}
+	return append(out, j.buf[:j.next]...)
+}
+
+// Reset empties the journal without releasing its storage.
+func (j *Journal) Reset() {
+	j.next = 0
+	j.full = false
+	j.dropped = 0
+}

@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Chrome trace_event export: the journal becomes a JSON object whose
+// traceEvents array loads directly into chrome://tracing or Perfetto.
+// Jam bursts (and surgical delay/init phases) render as duration slices;
+// detector edges, trigger transitions and register writes render as instant
+// events on their own rows. Timestamps are microseconds of simulated
+// hardware time (1 cycle = 0.01 µs).
+
+// traceEvent is one entry of the trace_event format.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Trace rows: one tid per subsystem so the viewer groups events sensibly.
+const (
+	tidFrames   = 1
+	tidDetector = 2
+	tidTrigger  = 3
+	tidJammer   = 4
+	tidRegBus   = 5
+	tidHost     = 6
+)
+
+var tidNames = map[int]string{
+	tidFrames:   "frames",
+	tidDetector: "detectors",
+	tidTrigger:  "trigger-fsm",
+	tidJammer:   "jammer",
+	tidRegBus:   "register-bus",
+	tidHost:     "host",
+}
+
+func cyclesToUS(c uint64) float64 { return float64(c) / 100 }
+
+// appendTraceEvents converts journal events into trace events. Jam
+// delay/init/burst phases are stitched into duration slices; everything
+// else becomes an instant event.
+func appendTraceEvents(out []traceEvent, events []Event) []traceEvent {
+	var (
+		phaseStart uint64 // start cycle of the current jammer phase slice
+		phaseName  string
+	)
+	closePhase := func(end uint64) {
+		if phaseName == "" {
+			return
+		}
+		d := cyclesToUS(end - phaseStart)
+		out = append(out, traceEvent{
+			Name: phaseName, Ph: "X", Ts: cyclesToUS(phaseStart), Dur: &d,
+			PID: 1, TID: tidJammer,
+		})
+		phaseName = ""
+	}
+	instant := func(e Event, tid int, args map[string]any) {
+		out = append(out, traceEvent{
+			Name: e.Kind.String(), Ph: "i", Ts: cyclesToUS(e.Cycle),
+			PID: 1, TID: tid, S: "t", Args: args,
+		})
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case EvFrameStart:
+			instant(e, tidFrames, nil)
+		case EvXCorrEdge, EvEnergyHighEdge, EvEnergyLowEdge:
+			instant(e, tidDetector, nil)
+		case EvTriggerArm, EvTriggerStage, EvTriggerAbandon:
+			instant(e, tidTrigger, map[string]any{"stage": e.Arg})
+		case EvTriggerFire:
+			instant(e, tidTrigger, nil)
+		case EvJamDelay:
+			closePhase(e.Cycle)
+			phaseStart, phaseName = e.Cycle, "jam-delay"
+		case EvJamInit:
+			closePhase(e.Cycle)
+			phaseStart, phaseName = e.Cycle, "jam-init"
+		case EvJamRFOn:
+			closePhase(e.Cycle)
+			phaseStart, phaseName = e.Cycle, "jam-burst"
+		case EvJamRFOff:
+			closePhase(e.Cycle)
+		case EvRegWrite:
+			instant(e, tidRegBus, map[string]any{
+				"addr": e.Arg >> 32, "value": e.Arg & 0xFFFFFFFF,
+			})
+		case EvHostPoll:
+			instant(e, tidHost, nil)
+		}
+	}
+	// A burst still in flight at export time gets a zero-length marker so
+	// it is not silently lost.
+	if phaseName != "" {
+		closePhase(phaseStart)
+	}
+	return out
+}
+
+// WriteTrace renders the recorder's journal as Chrome trace_event JSON.
+func (l *Live) WriteTrace(w io.Writer) error {
+	events := l.Events()
+	out := make([]traceEvent, 0, len(events)+len(tidNames)+1)
+	out = append(out, traceEvent{
+		Name: "process_name", Ph: "M", PID: 1,
+		Args: map[string]any{"name": "reactivejam-core"},
+	})
+	for tid, name := range tidNames {
+		out = append(out, traceEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	out = appendTraceEvents(out, events)
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"displayTimeUnit": "ns",
+		"traceEvents":     out,
+	})
+}

@@ -74,7 +74,18 @@ type StateMachine struct {
 	stage   int
 	elapsed uint64
 	armed   bool
+	onTrans TransitionFunc
 }
+
+// TransitionFunc observes state-machine transitions: the stage held before
+// and after one Process call, and whether the sequence completed (fired).
+// A window expiry that abandons a partial sequence reports toStage 0
+// without fired. The hook must not allocate; it runs in the sample loop.
+type TransitionFunc func(fromStage, toStage int, fired bool)
+
+// OnTransition installs the transition observer (nil to remove). The
+// telemetry layer uses it to journal arm/advance/abandon/fire events.
+func (sm *StateMachine) OnTransition(fn TransitionFunc) { sm.onTrans = fn }
 
 // New returns a state machine that fires on every occurrence of the single
 // given event (the most common configuration).
@@ -128,10 +139,15 @@ func (sm *StateMachine) Process(in Inputs) bool {
 	if len(sm.stages) == 0 {
 		return false
 	}
+	entry := sm.stage
 	if sm.armed {
 		sm.elapsed++
 		if sm.window > 0 && sm.elapsed > sm.window {
 			sm.ResetState() // window expired: abandon partial sequence
+			if sm.onTrans != nil && entry > 0 {
+				sm.onTrans(entry, 0, false)
+			}
+			entry = 0
 		}
 	}
 	for sm.stage < len(sm.stages) && in.has(sm.stages[sm.stage]) {
@@ -143,7 +159,13 @@ func (sm *StateMachine) Process(in Inputs) bool {
 	}
 	if sm.stage == len(sm.stages) {
 		sm.ResetState()
+		if sm.onTrans != nil {
+			sm.onTrans(entry, len(sm.stages), true)
+		}
 		return true
+	}
+	if sm.onTrans != nil && sm.stage != entry {
+		sm.onTrans(entry, sm.stage, false)
 	}
 	return false
 }

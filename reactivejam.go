@@ -22,12 +22,15 @@ package reactivejam
 
 import (
 	"fmt"
+	"io"
+	"net/http"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/host"
 	"repro/internal/jammer"
 	"repro/internal/radio"
+	"repro/internal/telemetry"
 	"repro/internal/trigger"
 	"repro/internal/wimax"
 )
@@ -63,7 +66,8 @@ type Personality struct {
 	Gain float64
 }
 
-// Stats mirrors the core's host-feedback counters.
+// Stats mirrors the core's host-feedback counters (a snapshot of the
+// telemetry counter block).
 type Stats struct {
 	Samples              uint64
 	XCorrDetections      uint64
@@ -71,6 +75,8 @@ type Stats struct {
 	EnergyLowDetections  uint64
 	JamTriggers          uint64
 	JamSamples           uint64
+	RegWrites            uint64
+	HostPolls            uint64
 }
 
 // Timelines is the reactive-jamming latency budget (paper Fig. 5).
@@ -94,6 +100,7 @@ type Timelines struct {
 type Framework struct {
 	radio *radio.N210
 	host  *host.Host
+	tel   *telemetry.Live
 }
 
 // New returns a framework tuned to WiFi channel 14 (2.484 GHz) with both
@@ -206,7 +213,17 @@ func (f *Framework) Process(rx []complex128) ([]complex128, error) {
 
 // Stats returns the host-feedback counters.
 func (f *Framework) Stats() Stats {
-	s := f.radio.Core().Stats()
+	return statsFrom(f.radio.Core().Stats())
+}
+
+// Poll reads the feedback counters the way the GNU Radio host polls the
+// core's "Synchro Flags" — identical to Stats except the poll itself is
+// counted and journaled through the telemetry layer.
+func (f *Framework) Poll() Stats {
+	return statsFrom(f.host.PollFeedback())
+}
+
+func statsFrom(s core.Stats) Stats {
 	return Stats{
 		Samples:              s.Samples,
 		XCorrDetections:      s.XCorrDetections,
@@ -214,6 +231,8 @@ func (f *Framework) Stats() Stats {
 		EnergyLowDetections:  s.EnergyLowDetections,
 		JamTriggers:          s.JamTriggers,
 		JamSamples:           s.JamSamples,
+		RegWrites:            s.RegWrites,
+		HostPolls:            s.HostPolls,
 	}
 }
 
@@ -236,6 +255,83 @@ func (f *Framework) Timelines() Timelines {
 // Elapsed returns the simulated hardware time since Start.
 func (f *Framework) Elapsed() time.Duration {
 	return f.radio.Core().Clock().Now()
+}
+
+// TelemetrySummary is the one-line shutdown digest of a telemetry-enabled
+// run.
+type TelemetrySummary struct {
+	// Samples and JamTriggers are the headline counters.
+	Samples     uint64
+	JamTriggers uint64
+	// ReactionP50 and ReactionP99 summarize the frame-start→RF-on latency
+	// histogram (zero when no frame markers were recorded).
+	ReactionP50 time.Duration
+	ReactionP99 time.Duration
+	// Events is the number of events currently held in the journal.
+	Events int
+}
+
+// EnableTelemetry attaches a live event recorder (journal, histograms and
+// counters) to the core. Idempotent; returns the recorder for direct access
+// to snapshots and the trace/metrics writers.
+func (f *Framework) EnableTelemetry() *telemetry.Live {
+	if f.tel == nil {
+		f.tel = telemetry.NewLive(telemetry.DefaultJournalDepth)
+		f.radio.Core().SetRecorder(f.tel)
+	}
+	return f.tel
+}
+
+// TelemetryEnabled reports whether a live recorder is attached.
+func (f *Framework) TelemetryEnabled() bool { return f.tel != nil }
+
+// Telemetry returns the attached live recorder, or nil when telemetry is
+// disabled.
+func (f *Framework) Telemetry() *telemetry.Live { return f.tel }
+
+// MarkFrame journals a frame-start marker for a frame beginning
+// offsetSourceSamples into the next buffer handed to Process (at the
+// declared source rate). Reaction-latency histograms measure from these
+// markers to the first jamming sample on air.
+func (f *Framework) MarkFrame(offsetSourceSamples int) {
+	f.radio.MarkFrame(offsetSourceSamples)
+}
+
+// WriteTrace dumps the event journal as Chrome trace_event JSON
+// (chrome://tracing / Perfetto). Fails when telemetry is disabled.
+func (f *Framework) WriteTrace(w io.Writer) error {
+	if f.tel == nil {
+		return fmt.Errorf("reactivejam: telemetry not enabled")
+	}
+	return f.tel.WriteTrace(w)
+}
+
+// MetricsHandler returns the Prometheus-style text exposition handler, or
+// nil when telemetry is disabled.
+func (f *Framework) MetricsHandler() http.Handler {
+	if f.tel == nil {
+		return nil
+	}
+	return f.tel.Handler()
+}
+
+// Summary digests the current telemetry state. Zero-valued when telemetry
+// is disabled.
+func (f *Framework) Summary() TelemetrySummary {
+	if f.tel == nil {
+		return TelemetrySummary{}
+	}
+	snap := f.tel.Snapshot()
+	sum := TelemetrySummary{
+		Samples:     snap.Counters.Samples,
+		JamTriggers: snap.Counters.JamTriggers,
+		Events:      snap.Events,
+	}
+	if h := snap.Histogram(telemetry.HistReaction); h.Count > 0 {
+		sum.ReactionP50 = h.P50Duration()
+		sum.ReactionP99 = h.P99Duration()
+	}
+	return sum
 }
 
 // DetectWiFiBPreamble arms the cross-correlator with the 802.11b DSSS long
