@@ -1,11 +1,13 @@
 GO ?= go
 
-.PHONY: ci build vet test race bench
+.PHONY: ci build vet test race bench bench-smoke bench-json
 
 ## ci: the full tier-1 verify path — vet, build, tests, then the race
 ## detector over every package (the register bus, clock and telemetry
-## recorder are exercised cross-goroutine by design).
-ci: vet build test race
+## recorder are exercised cross-goroutine by design), plus one iteration
+## of the core throughput benchmark so datapath regressions that only
+## break under -bench are caught here.
+ci: vet build test race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -21,3 +23,14 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+## bench-smoke: compile-and-run sanity for the benchmark harness — one
+## iteration of the core datapath benchmarks, no timing claims.
+bench-smoke:
+	$(GO) test -run='^$$' -bench='CorePerSample|CoreDatapath' -benchtime=1x .
+
+## bench-json: write the machine-readable benchmark baseline
+## (BENCH_<date>.json). Refuses to overwrite an existing baseline unless
+## FORCE=1 is set.
+bench-json:
+	$(GO) run ./cmd/experiments -bench-json BENCH_$$(date +%Y-%m-%d).json $(if $(FORCE),-force)

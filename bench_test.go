@@ -10,6 +10,7 @@ package reactivejam
 
 import (
 	"math"
+	"strconv"
 	"testing"
 	"time"
 
@@ -59,20 +60,10 @@ func reportPd(b *testing.B, cfg experiments.DetectionConfig) {
 	for _, p := range res.Points {
 		switch p.SNRdB {
 		case -4, 2, 10:
-			b.ReportMetric(p.Pd, "Pd@"+itoa(int(p.SNRdB))+"dB")
+			b.ReportMetric(p.Pd, "Pd@"+strconv.Itoa(int(p.SNRdB))+"dB")
 		}
 	}
 	b.ReportMetric(res.FalseAlarmsPerSec, "FA/s")
-}
-
-func itoa(v int) string {
-	if v < 0 {
-		return "-" + itoa(-v)
-	}
-	if v < 10 {
-		return string(rune('0' + v))
-	}
-	return itoa(v/10) + string(rune('0'+v%10))
 }
 
 func BenchmarkFig6LongPreambleDetection(b *testing.B) {
@@ -299,6 +290,53 @@ func BenchmarkCorePerSample(b *testing.B) {
 		n += len(out)
 	}
 	b.ReportMetric(float64(n)/b.Elapsed().Seconds()/1e6, "Msamples/s")
+}
+
+// BenchmarkCoreDatapath isolates the two core entry points behind the radio
+// front end: the legacy per-sample call and the block fast path that hoists
+// quantization, recorder dispatch and counter updates out of the loop.
+func BenchmarkCoreDatapath(b *testing.B) {
+	build := func(b *testing.B) *core.Core {
+		r := radio.New()
+		h := host.New(r.Core())
+		if _, err := h.ProgramCorrelator(host.WiFiShortTemplate(), 0.1); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := h.ProgramEnergy(10, 0); err != nil {
+			b.Fatal(err)
+		}
+		r.Start()
+		return r.Core()
+	}
+	buf := make([]complex128, 4096)
+	for i := range buf {
+		buf[i] = complex(float64(i%7)*0.01, 0)
+	}
+	b.Run("per-sample", func(b *testing.B) {
+		c := build(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		n := 0
+		for i := 0; i < b.N; i++ {
+			for _, s := range buf {
+				c.ProcessSample(s)
+			}
+			n += len(buf)
+		}
+		b.ReportMetric(float64(n)/b.Elapsed().Seconds()/1e6, "Msamples/s")
+	})
+	b.Run("block", func(b *testing.B) {
+		c := build(b)
+		tx := make([]complex128, len(buf))
+		b.ReportAllocs()
+		b.ResetTimer()
+		n := 0
+		for i := 0; i < b.N; i++ {
+			c.ProcessBlock(buf, tx)
+			n += len(buf)
+		}
+		b.ReportMetric(float64(n)/b.Elapsed().Seconds()/1e6, "Msamples/s")
+	})
 }
 
 // newTelemetryBenchCore builds an energy-armed, jamming core plus an input

@@ -1,0 +1,288 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fixed"
+	"repro/internal/host"
+	"repro/internal/iperf"
+	"repro/internal/radio"
+	"repro/internal/xcorr"
+)
+
+// BenchReport is the machine-readable benchmark baseline written by
+// -bench-json (the `make bench-json` target). It captures the datapath
+// throughput, per-experiment wall clock, and the headline detection figures
+// so a later commit can diff performance and correctness in one file.
+type BenchReport struct {
+	Date        string `json:"date"`
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	Parallelism int    `json:"parallelism"`
+
+	// ThroughputMsps reports the sample-rate of each datapath entry point in
+	// millions of samples per second. The real hardware runs at 25 MSPS; any
+	// figure above 25 means the model is faster than real time.
+	ThroughputMsps struct {
+		CorePerSample  float64 `json:"core_per_sample"`
+		CoreBlock      float64 `json:"core_block"`
+		XCorrPacked    float64 `json:"xcorr_packed"`
+		XCorrReference float64 `json:"xcorr_reference"`
+		PackedOverRef  float64 `json:"packed_over_reference"`
+	} `json:"throughput_msps"`
+
+	// Experiments lists wall-clock per experiment at the report's budgets.
+	Experiments []ExperimentTiming `json:"experiments"`
+
+	// Figures carries the key detection-probability results so a performance
+	// regression that changes behaviour is caught by the same diff.
+	Figures map[string]float64 `json:"figures"`
+}
+
+// ExperimentTiming is one experiment's wall-clock entry.
+type ExperimentTiming struct {
+	Name        string  `json:"name"`
+	WallClockMS float64 `json:"wall_clock_ms"`
+}
+
+// measureThroughput runs process (which consumes blockLen samples per call)
+// for roughly the given duration and returns millions of samples per second.
+func measureThroughput(blockLen int, minDur time.Duration, process func()) float64 {
+	// Warm up once so one-time setup (scratch growth, warmup masks) is
+	// excluded from the measured window.
+	process()
+	start := time.Now()
+	n := 0
+	for time.Since(start) < minDur {
+		process()
+		n += blockLen
+	}
+	return float64(n) / time.Since(start).Seconds() / 1e6
+}
+
+// benchInput builds the 4096-sample buffer BenchmarkCorePerSample uses, so
+// the JSON figures and the Go benchmark measure the same workload.
+func benchInput() []complex128 {
+	buf := make([]complex128, 4096)
+	for i := range buf {
+		buf[i] = complex(float64(i%7)*0.01, 0)
+	}
+	return buf
+}
+
+// benchCore assembles the short-preamble detection core behind a radio front
+// end, matching the benchmark configuration.
+func benchCore() (*core.Core, error) {
+	r := radio.New()
+	h := host.New(r.Core())
+	if _, err := h.ProgramCorrelator(host.WiFiShortTemplate(), 0.1); err != nil {
+		return nil, err
+	}
+	if _, err := h.ProgramEnergy(10, 0); err != nil {
+		return nil, err
+	}
+	r.Start()
+	return r.Core(), nil
+}
+
+func throughputSection(rep *BenchReport) error {
+	const window = 300 * time.Millisecond
+	buf := benchInput()
+
+	c, err := benchCore()
+	if err != nil {
+		return err
+	}
+	rep.ThroughputMsps.CorePerSample = measureThroughput(len(buf), window, func() {
+		for _, s := range buf {
+			c.ProcessSample(s)
+		}
+	})
+
+	c, err = benchCore()
+	if err != nil {
+		return err
+	}
+	tx := make([]complex128, len(buf))
+	rep.ThroughputMsps.CoreBlock = measureThroughput(len(buf), window, func() {
+		c.ProcessBlock(buf, tx)
+	})
+
+	// Kernel-only comparison: the packed popcount correlator against the
+	// scalar reference on identical quantized input.
+	iq := make([]fixed.IQ, len(buf))
+	for i, s := range buf {
+		iq[i] = fixed.Quantize(s)
+	}
+	iC, qC := xcorr.CoefficientsFromTemplate(host.WiFiShortTemplate())
+	packed := xcorr.New()
+	if err := packed.SetCoefficients(iC, qC); err != nil {
+		return err
+	}
+	rep.ThroughputMsps.XCorrPacked = measureThroughput(len(iq), window, func() {
+		for _, q := range iq {
+			packed.Process(q)
+		}
+	})
+	ref := xcorr.NewReference()
+	if err := ref.SetCoefficients(iC, qC); err != nil {
+		return err
+	}
+	rep.ThroughputMsps.XCorrReference = measureThroughput(len(iq), window, func() {
+		for _, q := range iq {
+			ref.Process(q)
+		}
+	})
+	if rep.ThroughputMsps.XCorrReference > 0 {
+		rep.ThroughputMsps.PackedOverRef =
+			rep.ThroughputMsps.XCorrPacked / rep.ThroughputMsps.XCorrReference
+	}
+	return nil
+}
+
+func experimentSection(rep *BenchReport, frames, packets int) error {
+	timed := func(name string, f func() error) error {
+		start := time.Now()
+		if err := f(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		rep.Experiments = append(rep.Experiments, ExperimentTiming{
+			Name:        name,
+			WallClockMS: float64(time.Since(start).Microseconds()) / 1000,
+		})
+		return nil
+	}
+
+	if err := timed("fig6-single-loose", func() error {
+		res, err := experiments.CharacterizeDetection(
+			experiments.Fig6Config(experiments.SingleLongPreamble, false, frames))
+		if err != nil {
+			return err
+		}
+		for _, p := range res.Points {
+			switch p.SNRdB {
+			case -4, 2, 10:
+				rep.Figures[fmt.Sprintf("fig6_pd_%+gdB", p.SNRdB)] = p.Pd
+			}
+		}
+		rep.Figures["fig6_fa_per_sec"] = res.FalseAlarmsPerSec
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := timed("fig7-short-preamble", func() error {
+		res, err := experiments.CharacterizeDetection(experiments.Fig7Config(frames))
+		if err != nil {
+			return err
+		}
+		for _, p := range res.Points {
+			switch p.SNRdB {
+			case -4, 2, 10:
+				rep.Figures[fmt.Sprintf("fig7_pd_%+gdB", p.SNRdB)] = p.Pd
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := timed("fig8-energy", func() error {
+		res, err := experiments.CharacterizeDetection(experiments.Fig8Config(frames))
+		if err != nil {
+			return err
+		}
+		for _, p := range res.Points {
+			if p.SNRdB == 14 {
+				rep.Figures["fig8_pd_+14dB"] = p.Pd
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := timed("fig10-reactive-sweep", func() error {
+		cfg := experiments.DefaultJamSweep(iperf.JamReactive, 100*time.Microsecond)
+		cfg.Packets = packets
+		pts, err := experiments.RunJamSweep(cfg)
+		if err != nil {
+			return err
+		}
+		rep.Figures["fig10_prr_strongest"] = pts[0].Result.PRR
+		rep.Figures["fig10_prr_weakest"] = pts[len(pts)-1].Result.PRR
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	return timed("selectivity", func() error {
+		res, err := experiments.Selectivity(frames/4, 15, 9)
+		if err != nil {
+			return err
+		}
+		minDiag, maxCross := 1.0, 0.0
+		for i := range experiments.AllStandards {
+			if res.Pd[i][i] < minDiag {
+				minDiag = res.Pd[i][i]
+			}
+			for j := range experiments.AllStandards {
+				if i != j && res.Pd[i][j] > maxCross {
+					maxCross = res.Pd[i][j]
+				}
+			}
+		}
+		rep.Figures["selectivity_min_diagonal_pd"] = minDiag
+		rep.Figures["selectivity_max_cross_pd"] = maxCross
+		return nil
+	})
+}
+
+// writeBenchJSON produces the benchmark baseline at path. An existing
+// baseline is preserved unless force is set.
+func writeBenchJSON(path string, force bool, frames, packets int) error {
+	if !force {
+		if _, err := os.Stat(path); err == nil {
+			return fmt.Errorf("%s exists; pass -force (make bench-json FORCE=1) to overwrite", path)
+		}
+	}
+	rep := &BenchReport{
+		Date:        time.Now().Format("2006-01-02"),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Parallelism: experiments.Parallelism(),
+		Figures:     map[string]float64{},
+	}
+	fmt.Printf("measuring datapath throughput...\n")
+	if err := throughputSection(rep); err != nil {
+		return err
+	}
+	fmt.Printf("  core per-sample %6.2f Msamples/s\n", rep.ThroughputMsps.CorePerSample)
+	fmt.Printf("  core block      %6.2f Msamples/s\n", rep.ThroughputMsps.CoreBlock)
+	fmt.Printf("  xcorr packed    %6.2f Msamples/s (%.1fx over scalar reference)\n",
+		rep.ThroughputMsps.XCorrPacked, rep.ThroughputMsps.PackedOverRef)
+	fmt.Printf("running experiments (%d frames, %d packets, parallelism %d)...\n",
+		frames, packets, rep.Parallelism)
+	if err := experimentSection(rep, frames, packets); err != nil {
+		return err
+	}
+	for _, e := range rep.Experiments {
+		fmt.Printf("  %-22s %8.0f ms\n", e.Name, e.WallClockMS)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

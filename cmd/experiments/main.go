@@ -23,14 +23,19 @@ import (
 )
 
 var (
-	runFlag  = flag.String("run", "all", "experiment: all, fig5, fig6, fig7, fig8, table1, fig10, fig11, fig12, selectivity, resources, reconfig, ablations, reaction")
-	fullFlag = flag.Bool("full", false, "paper-scale statistical budgets (slow)")
+	runFlag      = flag.String("run", "all", "experiment: all, fig5, fig6, fig7, fig8, table1, fig10, fig11, fig12, selectivity, resources, reconfig, ablations, reaction")
+	fullFlag     = flag.Bool("full", false, "paper-scale statistical budgets (slow)")
+	parallelFlag = flag.Int("parallel", 0, "experiment worker fan-out (0 = GOMAXPROCS, 1 = sequential)")
+	benchJSON    = flag.String("bench-json", "", "write a machine-readable benchmark baseline to this path and exit")
+	forceFlag    = flag.Bool("force", false, "allow -bench-json to overwrite an existing baseline")
 )
 
 func main() {
 	flag.Parse()
 	sel := strings.ToLower(*runFlag)
 	all := sel == "all"
+
+	experiments.SetParallelism(*parallelFlag)
 
 	frames := 300
 	packets := 40
@@ -40,6 +45,13 @@ func main() {
 		packets = 400
 		wimaxFrames = 500
 		experiments.SetFACalibrationScale(25)
+	}
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, *forceFlag, frames, packets); err != nil {
+			log.Fatalf("bench-json: %v", err)
+		}
+		return
 	}
 
 	ran := false

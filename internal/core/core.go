@@ -82,6 +82,8 @@ type Core struct {
 	counters *telemetry.Counters
 	rec      telemetry.Recorder
 
+	scratch blockScratch
+
 	antenna uint8
 }
 
@@ -258,9 +260,19 @@ func (c *Core) ProcessSample(rx complex128) (tx complex128) {
 	c.clock.AdvanceSamples(1)
 	c.counters.Samples.Add(1)
 	q := fixed.Quantize(rx)
-
-	_, xcLevel := c.xc.Process(q)
 	enHigh, enLow := c.en.Process(q)
+	tx = c.step(q, enHigh, enLow)
+	if tx != 0 {
+		c.counters.JamSamples.Add(1)
+	}
+	return tx
+}
+
+// step runs the post-energy stages of one sample tick: cross-correlation,
+// edge detection, trigger fusion and the jamming transmit controller. The
+// caller owns clock advancement and the Samples/JamSamples counters.
+func (c *Core) step(q fixed.IQ, enHigh, enLow bool) complex128 {
+	_, xcLevel := c.xc.Process(q)
 
 	in := trigger.Inputs{
 		XCorr:      c.edgeX.Process(xcLevel),
@@ -301,20 +313,81 @@ func (c *Core) ProcessSample(rx complex128) (tx complex128) {
 		c.rec.Event(telemetry.EvTriggerFire, c.clock.Cycle(), 0)
 	}
 
-	tx = c.jam.Process(q, fire)
-	if tx != 0 {
-		c.counters.JamSamples.Add(1)
+	return c.jam.Process(q, fire)
+}
+
+// blockScratch holds the reusable block-mode staging buffers.
+type blockScratch struct {
+	iq     []fixed.IQ
+	enHigh []bool
+	enLow  []bool
+}
+
+func (s *blockScratch) grow(n int) {
+	if cap(s.iq) < n {
+		s.iq = make([]fixed.IQ, n)
+		s.enHigh = make([]bool, n)
+		s.enLow = make([]bool, n)
 	}
-	return tx
+	s.iq = s.iq[:n]
+	s.enHigh = s.enHigh[:n]
+	s.enLow = s.enLow[:n]
+}
+
+// ProcessBlock is the block-mode fast path: it runs a whole receive slice
+// through the datapath, writing the transmit output into tx (which must be
+// at least len(rx) long). The results — transmit samples, counters, trigger
+// decisions and detector state — are bit-identical to calling ProcessSample
+// once per sample; the speedup comes from amortizing the per-sample
+// overheads over the slice: quantization runs as its own pass, the energy
+// differentiator runs in block mode, and the Samples/JamSamples counter
+// updates are batched to one atomic add per block.
+//
+// With the default no-op recorder the hardware clock is also advanced once
+// per block instead of once per sample (nothing can observe mid-block
+// cycle stamps when events are discarded). With a live recorder attached
+// the clock advances per sample so journaled events keep cycle-accurate
+// timestamps.
+func (c *Core) ProcessBlock(rx []complex128, tx []complex128) {
+	n := len(rx)
+	if n == 0 {
+		return
+	}
+	_ = tx[:n]
+	c.counters.Samples.Add(uint64(n))
+	_, nop := c.rec.(telemetry.Nop)
+	if nop {
+		c.clock.AdvanceSamples(uint64(n))
+	}
+
+	c.scratch.grow(n)
+	iq := c.scratch.iq
+	for i, s := range rx {
+		iq[i] = fixed.Quantize(s)
+	}
+	c.en.ProcessBlock(iq, c.scratch.enHigh, c.scratch.enLow)
+
+	var jamSamples uint64
+	for i := 0; i < n; i++ {
+		if !nop {
+			c.clock.AdvanceSamples(1)
+		}
+		out := c.step(iq[i], c.scratch.enHigh[i], c.scratch.enLow[i])
+		if out != 0 {
+			jamSamples++
+		}
+		tx[i] = out
+	}
+	if jamSamples > 0 {
+		c.counters.JamSamples.Add(jamSamples)
+	}
 }
 
 // ProcessBuffer runs a whole receive buffer through the core, returning the
 // transmit buffer of equal length.
 func (c *Core) ProcessBuffer(rx []complex128) []complex128 {
 	tx := make([]complex128, len(rx))
-	for i, s := range rx {
-		tx[i] = c.ProcessSample(s)
-	}
+	c.ProcessBlock(rx, tx)
 	return tx
 }
 

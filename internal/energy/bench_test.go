@@ -1,0 +1,78 @@
+package energy
+
+import (
+	"testing"
+
+	"repro/internal/fixed"
+)
+
+// benchInput alternates quiet and loud stretches so both threshold
+// comparators and the delay-line compare stay busy.
+func benchInput(n int) []fixed.IQ {
+	out := make([]fixed.IQ, n)
+	for i := range out {
+		amp := int16(50)
+		if i%512 >= 256 {
+			amp = 8000
+		}
+		out[i] = fixed.IQ{I: amp, Q: -amp / 2}
+	}
+	return out
+}
+
+func benchDiff(tb testing.TB) *Differentiator {
+	tb.Helper()
+	d := New()
+	if err := d.SetHighThresholdDB(10); err != nil {
+		tb.Fatal(err)
+	}
+	if err := d.SetLowThresholdDB(6); err != nil {
+		tb.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkProcess measures the per-sample entry point.
+func BenchmarkProcess(b *testing.B) {
+	d := benchDiff(b)
+	in := benchInput(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Process(in[i%len(in)])
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Msamples/s")
+}
+
+// BenchmarkProcessBlock measures the block fast path used by
+// core.ProcessBlock, which hoists the threshold-enable loads out of the
+// loop.
+func BenchmarkProcessBlock(b *testing.B) {
+	d := benchDiff(b)
+	in := benchInput(4096)
+	high := make([]bool, len(in))
+	low := make([]bool, len(in))
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		d.ProcessBlock(in, high, low)
+		n += len(in)
+	}
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds()/1e6, "Msamples/s")
+}
+
+// TestProcessBlockZeroAllocs pins the block path's zero-allocation
+// guarantee.
+func TestProcessBlockZeroAllocs(t *testing.T) {
+	d := benchDiff(t)
+	in := benchInput(1024)
+	high := make([]bool, len(in))
+	low := make([]bool, len(in))
+	allocs := testing.AllocsPerRun(10, func() {
+		d.ProcessBlock(in, high, low)
+	})
+	if allocs != 0 {
+		t.Errorf("ProcessBlock: %.1f allocs per 1024-sample block, want 0", allocs)
+	}
+}

@@ -101,8 +101,9 @@ func AblationCorrelators(snrsDB []float64, frames int, seed int64) ([]Correlator
 	// noise of power Pn, E[m] = Pn, and the tail is exp(-T/Pn).
 	softFactor := math.Log(float64(fpga25M()) / 0.52)
 
-	var out []CorrelatorComparison
-	for _, snr := range snrsDB {
+	out := make([]CorrelatorComparison, len(snrsDB))
+	err := forEach(len(snrsDB), func(oi int) error {
+		snr := snrsDB[oi]
 		noise := dsp.NewNoiseSource(noiseFloorPower, seed+int64(snr*10))
 		amp := math.Sqrt(noiseFloorPower * dsp.FromDB(snr))
 
@@ -124,12 +125,12 @@ func AblationCorrelators(snrsDB []float64, frames int, seed int64) ([]Correlator
 
 			hw := xcorr.New()
 			if err := hw.SetCoefficients(iC, qC); err != nil {
-				return nil, err
+				return err
 			}
 			hw.SetThreshold(hwThresh)
 			raw := xcorr.New()
 			if err := raw.SetCoefficients(iR, qR); err != nil {
-				return nil, err
+				return err
 			}
 			raw.SetThreshold(rawThresh)
 			soft := newSoftCorrelator(tpl64)
@@ -169,7 +170,11 @@ func AblationCorrelators(snrsDB []float64, frames int, seed int64) ([]Correlator
 		row.FullPrecisionPd = float64(fpHits) / n
 		row.FullPrecision128Pd = float64(fp128Hits) / n
 		row.RawRateTemplatePd = float64(rawHits) / n
-		out = append(out, row)
+		out[oi] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -191,10 +196,11 @@ func AblationEnergyWindow(windows []int, bursts int, seed int64) ([]EnergyWindow
 	if bursts <= 0 {
 		return nil, fmt.Errorf("experiments: bursts must be positive")
 	}
-	var out []EnergyWindowPoint
-	for _, w := range windows {
+	out := make([]EnergyWindowPoint, len(windows))
+	err := forEach(len(windows), func(oi int) error {
+		w := windows[oi]
 		if w < 1 {
-			return nil, fmt.Errorf("experiments: window %d invalid", w)
+			return fmt.Errorf("experiments: window %d invalid", w)
 		}
 		noise := dsp.NewNoiseSource(noiseFloorPower, seed+int64(w))
 		amp := math.Sqrt(noiseFloorPower * dsp.FromDB(12))
@@ -209,11 +215,15 @@ func AblationEnergyWindow(windows []int, bursts int, seed int64) ([]EnergyWindow
 				hits++
 			}
 		}
-		out = append(out, EnergyWindowPoint{
+		out[oi] = EnergyWindowPoint{
 			Window:    w,
 			LatencyUS: float64(w) / 25, // w samples at 25 MSPS
 			Pd:        float64(hits) / float64(bursts),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -258,10 +268,12 @@ type WaveformAblationRow struct {
 // as received through the −32.8 dB client→jammer path, so it needs that
 // much TX gain to reach the same power as the synthetic waveforms.
 func AblationWaveforms(packets int, attDB float64, seed int64) ([]WaveformAblationRow, error) {
-	var out []WaveformAblationRow
 	tone := dsp.Tone(1024, 2e6, 25e6)
 	replayGain := 1 / testbed.New().PathGain(testbed.PortClient, testbed.PortJammerRX)
-	for _, w := range []jammer.Waveform{jammer.WaveformWGN, jammer.WaveformReplay, jammer.WaveformHostStream} {
+	waveforms := []jammer.Waveform{jammer.WaveformWGN, jammer.WaveformReplay, jammer.WaveformHostStream}
+	out := make([]WaveformAblationRow, len(waveforms))
+	err := forEach(len(waveforms), func(oi int) error {
+		w := waveforms[oi]
 		link := iperf.DefaultLink()
 		link.Packets = packets
 		link.PayloadBytes = 600
@@ -291,9 +303,13 @@ func AblationWaveforms(packets int, attDB float64, seed int64) ([]WaveformAblati
 		}
 		res, err := iperf.Run(link, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, WaveformAblationRow{Waveform: w, PRR: res.PRR, SIRdB: res.SIRdB})
+		out[oi] = WaveformAblationRow{Waveform: w, PRR: res.PRR, SIRdB: res.SIRdB}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -332,8 +348,9 @@ func AblationImpairments(frames int, snrDB float64, seed int64) ([]ImpairmentRow
 			PhaseNoiseRadRMS: 0.01, ClockOffsetPPM: 20, Seed: seed,
 		}},
 	}
-	var out []ImpairmentRow
-	for _, c := range cases {
+	out := make([]ImpairmentRow, len(cases))
+	err := forEach(len(cases), func(oi int) error {
+		c := cases[oi]
 		cfg := DetectionConfig{
 			Template:       host.WiFiLongTemplate(),
 			FATargetPerSec: 0.52,
@@ -345,9 +362,13 @@ func AblationImpairments(frames int, snrDB float64, seed int64) ([]ImpairmentRow
 		}
 		res, err := CharacterizeDetection(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, ImpairmentRow{Label: c.label, Pd: res.Points[0].Pd})
+		out[oi] = ImpairmentRow{Label: c.label, Pd: res.Points[0].Pd}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -369,10 +390,11 @@ func AblationSoftDecision(burstSymbols []int, trials int, seed int64) ([]SoftDec
 	if trials <= 0 {
 		return nil, fmt.Errorf("experiments: trials must be positive")
 	}
-	var out []SoftDecisionRow
-	for _, nb := range burstSymbols {
+	out := make([]SoftDecisionRow, len(burstSymbols))
+	err := forEach(len(burstSymbols), func(oi int) error {
+		nb := burstSymbols[oi]
 		if nb < 0 {
-			return nil, fmt.Errorf("experiments: negative burst length")
+			return fmt.Errorf("experiments: negative burst length")
 		}
 		hardErr, softErr := 0, 0
 		for tr := 0; tr < trials; tr++ {
@@ -384,7 +406,7 @@ func AblationSoftDecision(burstSymbols []int, trials int, seed int64) ([]SoftDec
 				Rate: wifi.Rate24, ScramblerSeed: uint8(tr%126) + 1,
 			})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			rx := tx.Clone()
 			jam := dsp.NewNoiseSource(0.12, seed+int64(tr)+int64(nb)*977)
@@ -401,11 +423,15 @@ func AblationSoftDecision(burstSymbols []int, trials int, seed int64) ([]SoftDec
 				softErr++
 			}
 		}
-		out = append(out, SoftDecisionRow{
+		out[oi] = SoftDecisionRow{
 			BurstSymbols: nb,
 			HardFER:      float64(hardErr) / float64(trials),
 			SoftFER:      float64(softErr) / float64(trials),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

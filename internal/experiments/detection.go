@@ -215,11 +215,15 @@ func CharacterizeDetection(cfg DetectionConfig) (*DetectionResult, error) {
 		FACalibrationSec:  faSec,
 	}
 
-	// --- Pd sweep. ---
-	for _, snr := range cfg.SNRsDB {
-		r, count, err = buildDetector(cfg)
+	// --- Pd sweep: one worker-pool item per SNR point. Each point builds
+	// its own radio stack and derives every seed from (cfg.Seed, snr), so
+	// the sweep is bit-identical at any pool width. ---
+	result.Points = make([]DetectionPoint, len(cfg.SNRsDB))
+	err = forEach(len(cfg.SNRsDB), func(pi int) error {
+		snr := cfg.SNRsDB[pi]
+		r, count, err := buildDetector(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		front := impair.New(cfg.Impairments)
 		noise := dsp.NewNoiseSource(noiseFloorPower, cfg.Seed+int64(snr*100))
@@ -229,7 +233,7 @@ func CharacterizeDetection(cfg DetectionConfig) (*DetectionResult, error) {
 		for f := 0; f < cfg.FramesPerPoint; f++ {
 			wave, err := frameWaveform(cfg.Kind, f, cfg.Seed)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			// Scale the unit-power frame to the target SNR over noise and
 			// surround it with idle gap (the paper sends 130 frames/s; the
@@ -242,7 +246,7 @@ func CharacterizeDetection(cfg DetectionConfig) (*DetectionResult, error) {
 			}
 			before := count()
 			if _, err := r.Process(buf); err != nil {
-				return nil, err
+				return err
 			}
 			d := count() - before
 			if d > 0 {
@@ -250,11 +254,15 @@ func CharacterizeDetection(cfg DetectionConfig) (*DetectionResult, error) {
 			}
 			detections += d
 		}
-		result.Points = append(result.Points, DetectionPoint{
+		result.Points[pi] = DetectionPoint{
 			SNRdB:              snr,
 			Pd:                 float64(framesDetected) / float64(cfg.FramesPerPoint),
 			DetectionsPerFrame: float64(detections) / float64(cfg.FramesPerPoint),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return result, nil
 }

@@ -101,10 +101,13 @@ func DefaultJamSweep(mode iperf.JamMode, uptime time.Duration) JamSweepConfig {
 	}
 }
 
-// RunJamSweep produces one Fig. 10/11 curve.
+// RunJamSweep produces one Fig. 10/11 curve. The attenuation points run
+// across the experiment worker pool; each point builds its own link and
+// jammer stack, so the curve is identical at any pool width.
 func RunJamSweep(cfg JamSweepConfig) ([]JamSweepPoint, error) {
-	var out []JamSweepPoint
-	for _, att := range cfg.Attenuations {
+	out := make([]JamSweepPoint, len(cfg.Attenuations))
+	err := forEach(len(cfg.Attenuations), func(i int) error {
+		att := cfg.Attenuations[i]
 		link := iperf.DefaultLink()
 		link.Packets = cfg.Packets
 		link.PayloadBytes = cfg.PayloadBytes
@@ -120,9 +123,13 @@ func RunJamSweep(cfg JamSweepConfig) ([]JamSweepPoint, error) {
 		}
 		res, err := iperf.Run(link, jam)
 		if err != nil {
-			return nil, fmt.Errorf("sweep at %v dB: %w", att, err)
+			return fmt.Errorf("sweep at %v dB: %w", att, err)
 		}
-		out = append(out, JamSweepPoint{VariableAttDB: att, Result: *res})
+		out[i] = JamSweepPoint{VariableAttDB: att, Result: *res}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

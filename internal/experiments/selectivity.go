@@ -100,12 +100,24 @@ func standardFrame(s Standard, seq int) (dsp.Samples, error) {
 }
 
 // Selectivity measures the full matrix at the given SNR with frames per
-// cell.
+// cell. All matrix cells (template × signal, plus the energy-only row) run
+// across the experiment worker pool; every cell is seeded independently,
+// so the matrix is identical at any pool width.
 func Selectivity(frames int, snrDB float64, seed int64) (*SelectivityResult, error) {
 	if frames <= 0 {
 		return nil, fmt.Errorf("experiments: frames must be positive")
 	}
 	res := &SelectivityResult{Frames: frames}
+
+	// The templates are generated once, sequentially, and shared read-only
+	// by the cells.
+	type cell struct {
+		ti, si   int // ti == -1 marks the energy-only row
+		tpl      []complex128
+		frac     float64
+		energyDB float64
+	}
+	var cells []cell
 	for ti, tplStd := range AllStandards {
 		tpl, err := template(tplStd)
 		if err != nil {
@@ -119,20 +131,30 @@ func Selectivity(frames int, snrDB float64, seed int64) (*SelectivityResult, err
 		if tplStd == Std80211b {
 			frac = 0.72
 		}
-		for si, sigStd := range AllStandards {
-			pd, err := selectivityCell(tpl, frac, 0, sigStd, frames, snrDB, seed)
-			if err != nil {
-				return nil, err
-			}
-			res.Pd[ti][si] = pd
+		for si := range AllStandards {
+			cells = append(cells, cell{ti: ti, si: si, tpl: tpl, frac: frac})
 		}
 	}
-	for si, sigStd := range AllStandards {
-		pd, err := selectivityCell(nil, 0, 10, sigStd, frames, snrDB, seed)
+	for si := range AllStandards {
+		cells = append(cells, cell{ti: -1, si: si, energyDB: 10})
+	}
+
+	err := forEach(len(cells), func(i int) error {
+		c := cells[i]
+		pd, err := selectivityCell(c.tpl, c.frac, c.energyDB, AllStandards[c.si],
+			frames, snrDB, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.EnergyPd[si] = pd
+		if c.ti < 0 {
+			res.EnergyPd[c.si] = pd
+		} else {
+			res.Pd[c.ti][c.si] = pd
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -1,0 +1,65 @@
+package jammer
+
+import (
+	"testing"
+
+	"repro/internal/fixed"
+)
+
+func benchController(tb testing.TB) *Controller {
+	tb.Helper()
+	c := New()
+	if err := c.SetWaveform(WaveformWGN); err != nil {
+		tb.Fatal(err)
+	}
+	if err := c.SetUptimeSamples(256); err != nil {
+		tb.Fatal(err)
+	}
+	c.SetGain(1)
+	return c
+}
+
+// BenchmarkProcessIdle measures the controller's cost while armed but not
+// jamming — the common case on the 25 MSPS datapath.
+func BenchmarkProcessIdle(b *testing.B) {
+	c := benchController(b)
+	rx := fixed.IQ{I: 120, Q: -40}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Process(rx, false)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Msamples/s")
+}
+
+// BenchmarkProcessJamming measures the controller while it synthesizes a
+// burst: re-trigger every sample so the uptime counter never idles the
+// waveform generator.
+func BenchmarkProcessJamming(b *testing.B) {
+	c := benchController(b)
+	rx := fixed.IQ{I: 120, Q: -40}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Process(rx, true)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Msamples/s")
+}
+
+// TestProcessZeroAllocs pins the controller's zero-allocation guarantee in
+// both phases.
+func TestProcessZeroAllocs(t *testing.T) {
+	c := benchController(t)
+	rx := fixed.IQ{I: 120, Q: -40}
+	for _, trig := range []bool{false, true} {
+		allocs := testing.AllocsPerRun(10, func() {
+			for i := 0; i < 1024; i++ {
+				c.Process(rx, trig)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("Process(trigger=%v): %.1f allocs per 1024 samples, want 0",
+				trig, allocs)
+		}
+	}
+}

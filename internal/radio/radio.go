@@ -40,6 +40,8 @@ type N210 struct {
 	ddc      *dsp.Resampler // source-rate → 25 MSPS, when needed
 	sourceHz int
 
+	scaled dsp.Samples // reusable RX gain-scaling buffer
+
 	started bool
 }
 
@@ -135,7 +137,8 @@ func (r *N210) MarkFrame(offsetSourceSamples int) {
 
 // Process streams a block of received baseband through the DDC (if any) and
 // the custom DSP core, returning the transmit-path output at 25 MSPS,
-// scaled by the front-end gains.
+// scaled by the front-end gains. The core runs in block mode; at the
+// default 0 dB gains the receive scaling pass is skipped entirely.
 func (r *N210) Process(rx dsp.Samples) (dsp.Samples, error) {
 	if !r.started {
 		return nil, fmt.Errorf("radio: chains not started")
@@ -146,9 +149,22 @@ func (r *N210) Process(rx dsp.Samples) (dsp.Samples, error) {
 	}
 	rxGain := dsp.AmplitudeFromDB(r.rxGainDB)
 	txGain := dsp.AmplitudeFromDB(r.txGainDB)
+	if rxGain != 1 {
+		if cap(r.scaled) < len(in) {
+			r.scaled = make(dsp.Samples, len(in))
+		}
+		r.scaled = r.scaled[:len(in)]
+		for i, s := range in {
+			r.scaled[i] = s * complex(rxGain, 0)
+		}
+		in = r.scaled
+	}
 	out := make(dsp.Samples, len(in))
-	for i, s := range in {
-		out[i] = r.core.ProcessSample(s*complex(rxGain, 0)) * complex(txGain, 0)
+	r.core.ProcessBlock(in, out)
+	if txGain != 1 {
+		for i := range out {
+			out[i] *= complex(txGain, 0)
+		}
 	}
 	return out, nil
 }

@@ -20,6 +20,7 @@ package xcorr
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/cmplx"
 
 	"repro/internal/fixed"
@@ -42,18 +43,83 @@ const DetectionCycles = Length * fpga.CyclesPerSample
 // 2 · 512² = 524288, comfortably inside the 32-bit register width.
 const MaxMetric = 2 * 512 * 512
 
+// bitplanes is one coefficient bank decomposed for the popcount kernel.
+// Because the sliced signs are ±1 and coefficients are 3-bit signed, the
+// dot product Σ s[k]·c[k] can be computed without any multiplies:
+//
+//	s·c = sign(s)·sign(c)·|c|, and sign(s)·sign(c) = −1 ⟺ signbit(s) XOR signbit(c)
+//
+// so with the 64 sign bits of the history packed into one uint64 word, the
+// 64 coefficient sign bits in neg, and |c| split into its three magnitude
+// bit-planes mag[b] (bit k of mag[b] = bit b of |c[k]|), the whole 64-tap
+// sum collapses to
+//
+//	Σ s·c = Σ_b 2^b·(popcount(mag[b]) − 2·popcount((signs XOR neg) AND mag[b]))
+//
+// which is bit-exact against the scalar multiply-accumulate (Reference).
+type bitplanes struct {
+	neg  uint64    // bit k set ⟺ coeff[k] < 0
+	mag  [3]uint64 // magnitude bit-planes; |coeff| ≤ 4 needs exactly 3
+	base int32     // Σ|coeff| = Σ_b 2^b·popcount(mag[b])
+}
+
+func makeBitplanes(bank []fixed.Coeff3) bitplanes {
+	var b bitplanes
+	for k, c := range bank {
+		v := int32(c)
+		if v < 0 {
+			b.neg |= 1 << k
+			v = -v
+		}
+		for p := 0; p < 3; p++ {
+			if v&(1<<p) != 0 {
+				b.mag[p] |= 1 << k
+			}
+		}
+		b.base += v
+	}
+	return b
+}
+
+// dot computes Σ s[k]·c[k] over a full 64-sample window, given the XOR of
+// the packed sign history with the bank's coefficient sign mask.
+func (b *bitplanes) dot(x uint64) int32 {
+	p := bits.OnesCount64(x&b.mag[0]) +
+		2*bits.OnesCount64(x&b.mag[1]) +
+		4*bits.OnesCount64(x&b.mag[2])
+	return b.base - int32(2*p)
+}
+
+// dotMasked computes the same sum restricted to the valid window positions,
+// used while the delay line is still filling: taps whose history slot has
+// not been written yet contribute 0, exactly like the zeroed int8 entries
+// of the scalar reference.
+func (b *bitplanes) dotMasked(x, valid uint64) int32 {
+	m0, m1, m2 := b.mag[0]&valid, b.mag[1]&valid, b.mag[2]&valid
+	base := bits.OnesCount64(m0) + 2*bits.OnesCount64(m1) + 4*bits.OnesCount64(m2)
+	p := bits.OnesCount64(x&m0) + 2*bits.OnesCount64(x&m1) + 4*bits.OnesCount64(x&m2)
+	return int32(base - 2*p)
+}
+
 // Correlator is the streaming hardware cross-correlator. It consumes one
 // quantized I/Q sample per baseband sample tick and reports the metric and
 // trigger decision. Not safe for concurrent use; the register bus layer
 // serializes host access.
+//
+// Internally it runs the packed popcount kernel: the 64-sample sign history
+// lives in two rotating uint64 masks and each coefficient bank in sign/
+// magnitude bit-planes, so the four partial sums cost a handful of XOR/AND/
+// popcount word operations instead of 256 multiplies per sample. The
+// Reference type keeps the original scalar loop; the two are bit-exact
+// against each other for every input (see the differential and fuzz tests).
 type Correlator struct {
-	coefI [Length]fixed.Coeff3
-	coefQ [Length]fixed.Coeff3
+	bankI bitplanes
+	bankQ bitplanes
 
-	signI [Length]int8 // circular history of sliced sign bits
-	signQ [Length]int8
-	pos   int
-	warm  int // samples consumed, saturates at Length
+	signI uint64 // bit k ⟺ sample aligned with coefficient k is negative
+	signQ uint64
+	valid uint64 // bit k ⟺ that history slot holds a consumed sample
+	warm  int    // samples consumed, saturates at Length
 
 	threshold uint32
 	metric    uint32
@@ -72,8 +138,8 @@ func (c *Correlator) SetCoefficients(i, q []fixed.Coeff3) error {
 		return fmt.Errorf("xcorr: coefficient banks must be %d taps, got %d/%d",
 			Length, len(i), len(q))
 	}
-	copy(c.coefI[:], i)
-	copy(c.coefQ[:], q)
+	c.bankI = makeBitplanes(i)
+	c.bankQ = makeBitplanes(q)
 	return nil
 }
 
@@ -85,9 +151,9 @@ func (c *Correlator) Threshold() uint32 { return c.threshold }
 
 // Reset clears the sample history (but keeps coefficients and threshold).
 func (c *Correlator) Reset() {
-	c.signI = [Length]int8{}
-	c.signQ = [Length]int8{}
-	c.pos = 0
+	c.signI = 0
+	c.signQ = 0
+	c.valid = 0
 	c.warm = 0
 	c.metric = 0
 }
@@ -95,34 +161,27 @@ func (c *Correlator) Reset() {
 // Process consumes one baseband sample and returns the correlation metric
 // and whether the trigger comparator fired on this sample.
 func (c *Correlator) Process(s fixed.IQ) (metric uint32, trigger bool) {
-	si, sq := s.SignBit()
-	c.signI[c.pos] = si
-	c.signQ[c.pos] = sq
-	c.pos++
-	if c.pos == Length {
-		c.pos = 0
-	}
+	// The oldest sample aligns with coefficient 0 and the newest with
+	// coefficient 63, so each new sample shifts every history bit one
+	// coefficient position down and lands in bit 63. The sign bit of the
+	// int16 is exactly the 1-bit slicer of the hardware.
+	c.signI = c.signI>>1 | uint64(uint16(s.I))>>15<<63
+	c.signQ = c.signQ>>1 | uint64(uint16(s.Q))>>15<<63
+
+	var sumII, sumQQ, sumQI, sumIQ int32
 	if c.warm < Length {
 		c.warm++
-	}
-
-	// The oldest sample in the history aligns with coefficient 0. After the
-	// pos++ above, the oldest sample sits at index c.pos.
-	var sumII, sumQQ, sumQI, sumIQ int32
-	idx := c.pos
-	for k := 0; k < Length; k++ {
-		i := int32(c.signI[idx])
-		q := int32(c.signQ[idx])
-		ci := int32(c.coefI[k])
-		cq := int32(c.coefQ[k])
-		sumII += i * ci
-		sumQQ += q * cq
-		sumQI += q * ci
-		sumIQ += i * cq
-		idx++
-		if idx == Length {
-			idx = 0
-		}
+		c.valid = c.valid>>1 | 1<<63
+		v := c.valid
+		sumII = c.bankI.dotMasked(c.signI^c.bankI.neg, v)
+		sumQQ = c.bankQ.dotMasked(c.signQ^c.bankQ.neg, v)
+		sumQI = c.bankI.dotMasked(c.signQ^c.bankI.neg, v)
+		sumIQ = c.bankQ.dotMasked(c.signI^c.bankQ.neg, v)
+	} else {
+		sumII = c.bankI.dot(c.signI ^ c.bankI.neg)
+		sumQQ = c.bankQ.dot(c.signQ ^ c.bankQ.neg)
+		sumQI = c.bankI.dot(c.signQ ^ c.bankI.neg)
+		sumIQ = c.bankQ.dot(c.signI ^ c.bankQ.neg)
 	}
 	// The coefficient banks already hold the conjugated template, so the
 	// matched output is the plain complex product Σ s·c:
