@@ -1,13 +1,25 @@
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-smoke bench-json
+## BENCH_BASELINE: the committed benchmark baseline that bench-json writes
+## and bench-diff compares against. Defaults to the newest BENCH_*.json in
+## the repo root; falls back to a date-stamped name when none exists yet.
+## Override per-invocation: `make bench-diff BENCH_BASELINE=BENCH_old.json`.
+BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+ifeq ($(BENCH_BASELINE),)
+BENCH_BASELINE = BENCH_$(shell date +%Y-%m-%d).json
+endif
+
+.PHONY: ci build vet test race bench bench-smoke bench-json bench-diff bench-diff-smoke slo
 
 ## ci: the full tier-1 verify path — vet, build, tests, then the race
 ## detector over every package (the register bus, clock and telemetry
 ## recorder are exercised cross-goroutine by design), plus one iteration
 ## of the core throughput benchmark so datapath regressions that only
-## break under -bench are caught here.
-ci: vet build test race bench-smoke
+## break under -bench are caught here. The slo target gates the paper's
+## reaction-latency and false-alarm budgets, and bench-diff-smoke compares
+## datapath throughput against the committed baseline in tolerant mode so
+## the whole chain fits a CI smoke budget.
+ci: vet build test race bench-smoke slo bench-diff-smoke
 
 build:
 	$(GO) build ./...
@@ -30,7 +42,32 @@ bench-smoke:
 	$(GO) test -run='^$$' -bench='CorePerSample|CoreDatapath' -benchtime=1x .
 
 ## bench-json: write the machine-readable benchmark baseline
-## (BENCH_<date>.json). Refuses to overwrite an existing baseline unless
-## FORCE=1 is set.
+## ($(BENCH_BASELINE)). Refuses to overwrite an existing baseline or to
+## record one from a dirty working tree unless FORCE=1 is set — a baseline
+## must correspond to a commit, or bench-diff compares against nothing
+## reproducible.
 bench-json:
-	$(GO) run ./cmd/experiments -bench-json BENCH_$$(date +%Y-%m-%d).json $(if $(FORCE),-force)
+	@if [ -z "$(FORCE)" ] && ! git diff --quiet HEAD 2>/dev/null; then \
+		echo "bench-json: working tree is dirty; commit first or set FORCE=1" >&2; \
+		exit 1; \
+	fi
+	$(GO) run ./cmd/experiments -bench-json $(BENCH_BASELINE) $(if $(FORCE),-force)
+
+## bench-diff: measure the current tree and fail on regression against the
+## baseline — full mode: 300 ms throughput windows with a 0.60 ratio floor
+## plus exact re-verification of every seeded figure in the baseline.
+bench-diff:
+	$(GO) run ./cmd/experiments -bench-diff $(BENCH_BASELINE)
+
+## bench-diff-smoke: the tolerant variant used by `make ci` — short
+## throughput windows and a loose ratio floor (catches order-of-magnitude
+## datapath regressions without false-failing on loaded machines), no
+## figure re-runs.
+bench-diff-smoke:
+	$(GO) run ./cmd/experiments -bench-diff $(BENCH_BASELINE) -tolerant
+
+## slo: evaluate the paper-derived service-level budgets (reaction p99
+## within Ten_det + Tinit + front-end group delay, late-jam fraction,
+## false-alarm rate, journal drops) on seeded runs; violations exit 1.
+slo:
+	$(GO) run ./cmd/experiments -run slo

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+// bench-diff compares a fresh measurement against a committed BENCH_*.json
+// baseline and fails on regression. Two modes:
+//
+//   - full (default): 300 ms throughput windows with a 0.60 ratio floor,
+//     plus exact comparison of every figure in the baseline — the figures
+//     come from seeded experiments, so any difference is a behaviour
+//     change, not noise.
+//   - tolerant (-tolerant, used by `make ci`): 40 ms throughput windows
+//     with a 0.35 ratio floor and no figure re-runs, sized so the check
+//     fits a CI smoke budget and loaded machines cannot fail it spuriously
+//     while a genuine order-of-magnitude datapath regression still trips.
+type benchDiffMode struct {
+	window     time.Duration
+	ratioFloor float64
+	figures    bool
+	label      string
+}
+
+func benchDiffModeFor(tolerant bool) benchDiffMode {
+	if tolerant {
+		return benchDiffMode{window: 40 * time.Millisecond, ratioFloor: 0.35, figures: false, label: "tolerant"}
+	}
+	return benchDiffMode{window: 300 * time.Millisecond, ratioFloor: 0.60, figures: true, label: "full"}
+}
+
+// runBenchDiff measures the current tree and diffs it against the baseline.
+func runBenchDiff(baselinePath string, tolerant bool, frames, packets int) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("bench-diff: read baseline: %w", err)
+	}
+	var base BenchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("bench-diff: parse %s: %w", baselinePath, err)
+	}
+	// Re-run at the budgets the baseline was recorded with, when it says.
+	if base.Frames > 0 {
+		frames = base.Frames
+	}
+	if base.Packets > 0 {
+		packets = base.Packets
+	}
+	mode := benchDiffModeFor(tolerant)
+	fmt.Printf("bench-diff (%s) against %s (recorded %s, %s)\n",
+		mode.label, baselinePath, base.Date, base.GoVersion)
+
+	fresh := &BenchReport{Figures: map[string]float64{}}
+	if err := throughputSection(fresh, mode.window); err != nil {
+		return err
+	}
+
+	failures := 0
+	check := func(name string, baseV, freshV float64) {
+		if baseV <= 0 {
+			fmt.Printf("  skip %-22s baseline has no figure\n", name)
+			return
+		}
+		ratio := freshV / baseV
+		status := "ok  "
+		if ratio < mode.ratioFloor {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("  %s %-22s %8.2f -> %8.2f Msps  (%.2fx, floor %.2fx)\n",
+			status, name, baseV, freshV, ratio, mode.ratioFloor)
+	}
+	check("core_per_sample", base.ThroughputMsps.CorePerSample, fresh.ThroughputMsps.CorePerSample)
+	check("core_block", base.ThroughputMsps.CoreBlock, fresh.ThroughputMsps.CoreBlock)
+	check("xcorr_packed", base.ThroughputMsps.XCorrPacked, fresh.ThroughputMsps.XCorrPacked)
+	check("xcorr_reference", base.ThroughputMsps.XCorrReference, fresh.ThroughputMsps.XCorrReference)
+
+	if mode.figures && len(base.Figures) > 0 {
+		fmt.Printf("  re-running experiments for figure comparison (%d frames, %d packets)...\n",
+			frames, packets)
+		if err := experimentSection(fresh, frames, packets); err != nil {
+			return err
+		}
+		for _, k := range sortedKeys(base.Figures) {
+			bv := base.Figures[k]
+			fv, ok := fresh.Figures[k]
+			switch {
+			case !ok:
+				fmt.Printf("  FAIL %-28s baseline %g, fresh run did not produce it\n", k, bv)
+				failures++
+			case fv != bv:
+				fmt.Printf("  FAIL %-28s baseline %g, fresh %g (seeded figure changed)\n", k, bv, fv)
+				failures++
+			default:
+				fmt.Printf("  ok   %-28s %g\n", k, bv)
+			}
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("bench-diff: %d regression(s) against %s", failures, baselinePath)
+	}
+	fmt.Println("  no regressions")
+	return nil
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

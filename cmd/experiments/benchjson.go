@@ -25,6 +25,11 @@ type BenchReport struct {
 	GoVersion   string `json:"go_version"`
 	GOMAXPROCS  int    `json:"gomaxprocs"`
 	Parallelism int    `json:"parallelism"`
+	// Frames and Packets record the statistical budgets the figures were
+	// measured at, so bench-diff can re-run with identical budgets (older
+	// baselines without them fall back to the current defaults).
+	Frames  int `json:"frames,omitempty"`
+	Packets int `json:"packets,omitempty"`
 
 	// ThroughputMsps reports the sample-rate of each datapath entry point in
 	// millions of samples per second. The real hardware runs at 25 MSPS; any
@@ -91,8 +96,7 @@ func benchCore() (*core.Core, error) {
 	return r.Core(), nil
 }
 
-func throughputSection(rep *BenchReport) error {
-	const window = 300 * time.Millisecond
+func throughputSection(rep *BenchReport, window time.Duration) error {
 	buf := benchInput()
 
 	c, err := benchCore()
@@ -257,10 +261,12 @@ func writeBenchJSON(path string, force bool, frames, packets int) error {
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Parallelism: experiments.Parallelism(),
+		Frames:      frames,
+		Packets:     packets,
 		Figures:     map[string]float64{},
 	}
 	fmt.Printf("measuring datapath throughput...\n")
-	if err := throughputSection(rep); err != nil {
+	if err := throughputSection(rep, 300*time.Millisecond); err != nil {
 		return err
 	}
 	fmt.Printf("  core per-sample %6.2f Msamples/s\n", rep.ThroughputMsps.CorePerSample)

@@ -23,11 +23,14 @@ import (
 )
 
 var (
-	runFlag      = flag.String("run", "all", "experiment: all, fig5, fig6, fig7, fig8, table1, fig10, fig11, fig12, selectivity, resources, reconfig, ablations, reaction")
+	runFlag      = flag.String("run", "all", "experiment: all, fig5, fig6, fig7, fig8, table1, fig10, fig11, fig12, selectivity, resources, reconfig, ablations, reaction, verdict, slo")
 	fullFlag     = flag.Bool("full", false, "paper-scale statistical budgets (slow)")
 	parallelFlag = flag.Int("parallel", 0, "experiment worker fan-out (0 = GOMAXPROCS, 1 = sequential)")
 	benchJSON    = flag.String("bench-json", "", "write a machine-readable benchmark baseline to this path and exit")
 	forceFlag    = flag.Bool("force", false, "allow -bench-json to overwrite an existing baseline")
+	benchDiff    = flag.String("bench-diff", "", "compare a fresh measurement against this baseline and exit non-zero on regression")
+	tolerantFlag = flag.Bool("tolerant", false, "bench-diff smoke mode: short windows, loose throughput floor, no figure re-runs")
+	ledgerFlag   = flag.String("ledger", "", "with -run verdict: write the per-packet JSONL verdict ledger to this path")
 )
 
 func main() {
@@ -50,6 +53,12 @@ func main() {
 	if *benchJSON != "" {
 		if err := writeBenchJSON(*benchJSON, *forceFlag, frames, packets); err != nil {
 			log.Fatalf("bench-json: %v", err)
+		}
+		return
+	}
+	if *benchDiff != "" {
+		if err := runBenchDiff(*benchDiff, *tolerantFlag, frames, packets); err != nil {
+			log.Fatal(err)
 		}
 		return
 	}
@@ -81,6 +90,8 @@ func main() {
 	run("reconfig", func() error { return reconfig() })
 	run("ablations", func() error { return ablations() })
 	run("reaction", func() error { return reaction(frames / 3) })
+	run("verdict", func() error { return runVerdict(frames/6, *ledgerFlag) })
+	run("slo", func() error { return runSLO(frames / 3) })
 
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", sel)

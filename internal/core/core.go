@@ -81,6 +81,20 @@ type Core struct {
 
 	counters *telemetry.Counters
 	rec      telemetry.Recorder
+	live     bool // a capturing recorder is attached
+
+	// Engagement tracking (only maintained while a capturing recorder is
+	// attached): every detector edge that arrives while no engagement is
+	// open allocates a fresh engagement ID, and all subsequent sample-
+	// clocked events — detector edges, trigger FSM transitions, jammer
+	// phases — carry that ID until the engagement closes. An engagement
+	// closes EdgeHoldoff samples after the datapath goes quiescent (jammer
+	// idle, no new edges), at which point EvHoldoffRelease is journaled:
+	// the detectors have re-armed and the next packet starts a new
+	// engagement.
+	engSeq    uint32
+	curEng    uint32
+	engLinger uint64
 
 	scratch blockScratch
 
@@ -119,8 +133,10 @@ func New() *Core {
 func (c *Core) installInstrumentation() {
 	c.bus.WatchAll(func(addr uint8, value uint32) {
 		c.counters.RegWrites.Add(1)
+		// Register writes may arrive from a host goroutine while the
+		// datapath runs, so they never read the engagement state.
 		c.rec.Event(telemetry.EvRegWrite, c.clock.Cycle(),
-			uint64(addr)<<32|uint64(value))
+			uint64(addr)<<32|uint64(value), 0)
 	})
 	c.sm.OnTransition(func(from, to int, fired bool) {
 		if fired {
@@ -128,23 +144,26 @@ func (c *Core) installInstrumentation() {
 		}
 		switch {
 		case from == 0 && to > 0:
-			c.rec.Event(telemetry.EvTriggerArm, c.clock.Cycle(), uint64(to))
+			c.rec.Event(telemetry.EvTriggerArm, c.clock.Cycle(), uint64(to), c.curEng)
 		case to > from:
-			c.rec.Event(telemetry.EvTriggerStage, c.clock.Cycle(), uint64(to))
+			c.rec.Event(telemetry.EvTriggerStage, c.clock.Cycle(), uint64(to), c.curEng)
 		case to < from:
-			c.rec.Event(telemetry.EvTriggerAbandon, c.clock.Cycle(), uint64(from))
+			c.rec.Event(telemetry.EvTriggerAbandon, c.clock.Cycle(), uint64(from), c.curEng)
 		}
 	})
 	c.jam.OnPhase(func(from, to jammer.Phase) {
 		switch {
 		case to == jammer.PhaseDelay:
-			c.rec.Event(telemetry.EvJamDelay, c.clock.Cycle(), 0)
+			c.rec.Event(telemetry.EvJamDelay, c.clock.Cycle(), 0, c.curEng)
 		case to == jammer.PhaseInit:
-			c.rec.Event(telemetry.EvJamInit, c.clock.Cycle(), 0)
+			c.rec.Event(telemetry.EvJamInit, c.clock.Cycle(), 0, c.curEng)
 		case to == jammer.PhaseJamming:
-			c.rec.Event(telemetry.EvJamRFOn, c.clock.Cycle(), 0)
+			c.rec.Event(telemetry.EvJamRFOn, c.clock.Cycle(), 0, c.curEng)
 		case to == jammer.PhaseIdle && from == jammer.PhaseJamming:
-			c.rec.Event(telemetry.EvJamRFOff, c.clock.Cycle(), 0)
+			c.rec.Event(telemetry.EvJamRFOff, c.clock.Cycle(), 0, c.curEng)
+			// The burst is over: restart the engagement linger so the
+			// holdoff-release fires once the detectors have re-armed.
+			c.engLinger = EdgeHoldoff
 		}
 	})
 }
@@ -161,6 +180,11 @@ func (c *Core) SetRecorder(r telemetry.Recorder) {
 		l.BindCounters(c.counters)
 	}
 	c.rec = r
+	_, nop := r.(telemetry.Nop)
+	c.live = !nop
+	if !c.live {
+		c.curEng, c.engLinger = 0, 0
+	}
 }
 
 // Recorder returns the installed telemetry recorder.
@@ -175,14 +199,14 @@ func (c *Core) Counters() *telemetry.Counters { return c.counters }
 // frame begins, which is what anchors the end-to-end reaction-latency
 // histogram.
 func (c *Core) MarkFrameStart(cycle uint64) {
-	c.rec.Event(telemetry.EvFrameStart, cycle, 0)
+	c.rec.Event(telemetry.EvFrameStart, cycle, 0, 0)
 }
 
 // PollFeedback reads the host-feedback counters the way the host
 // application does ("Synchro Flags" in Fig. 1), counting the poll itself.
 func (c *Core) PollFeedback() Stats {
 	c.counters.HostPolls.Add(1)
-	c.rec.Event(telemetry.EvHostPoll, c.clock.Cycle(), 0)
+	c.rec.Event(telemetry.EvHostPoll, c.clock.Cycle(), 0, 0)
 	return c.Stats()
 }
 
@@ -249,6 +273,7 @@ func (c *Core) ResetDatapath() {
 	c.edgeL.Reset()
 	c.counters.Reset()
 	c.clock.Reset()
+	c.curEng, c.engLinger = 0, 0
 }
 
 // Clock returns the core's hardware clock (advances 4 cycles per sample).
@@ -279,17 +304,24 @@ func (c *Core) step(q fixed.IQ, enHigh, enLow bool) complex128 {
 		EnergyHigh: c.edgeH.Process(enHigh),
 		EnergyLow:  c.edgeL.Process(enLow),
 	}
+	if c.live && (in.XCorr || in.EnergyHigh || in.EnergyLow) {
+		if c.curEng == 0 {
+			c.engSeq++
+			c.curEng = c.engSeq
+		}
+		c.engLinger = EdgeHoldoff
+	}
 	if in.XCorr {
 		c.counters.XCorrDetections.Add(1)
-		c.rec.Event(telemetry.EvXCorrEdge, c.clock.Cycle(), 0)
+		c.rec.Event(telemetry.EvXCorrEdge, c.clock.Cycle(), 0, c.curEng)
 	}
 	if in.EnergyHigh {
 		c.counters.EnergyHighDetections.Add(1)
-		c.rec.Event(telemetry.EvEnergyHighEdge, c.clock.Cycle(), 0)
+		c.rec.Event(telemetry.EvEnergyHighEdge, c.clock.Cycle(), 0, c.curEng)
 	}
 	if in.EnergyLow {
 		c.counters.EnergyLowDetections.Add(1)
-		c.rec.Event(telemetry.EvEnergyLowEdge, c.clock.Cycle(), 0)
+		c.rec.Event(telemetry.EvEnergyLowEdge, c.clock.Cycle(), 0, c.curEng)
 	}
 
 	var fire bool
@@ -310,10 +342,21 @@ func (c *Core) step(q fixed.IQ, enHigh, enLow bool) complex128 {
 	}
 	if fire {
 		c.counters.JamTriggers.Add(1)
-		c.rec.Event(telemetry.EvTriggerFire, c.clock.Cycle(), 0)
+		c.rec.Event(telemetry.EvTriggerFire, c.clock.Cycle(), 0, c.curEng)
 	}
 
-	return c.jam.Process(q, fire)
+	tx := c.jam.Process(q, fire)
+
+	// Engagement close: once the jammer is idle again, let the engagement
+	// linger for the detector holdoff and then release it.
+	if c.curEng != 0 && c.jam.Phase() == jammer.PhaseIdle {
+		c.engLinger--
+		if c.engLinger == 0 {
+			c.rec.Event(telemetry.EvHoldoffRelease, c.clock.Cycle(), 0, c.curEng)
+			c.curEng = 0
+		}
+	}
+	return tx
 }
 
 // blockScratch holds the reusable block-mode staging buffers.
@@ -355,7 +398,7 @@ func (c *Core) ProcessBlock(rx []complex128, tx []complex128) {
 	}
 	_ = tx[:n]
 	c.counters.Samples.Add(uint64(n))
-	_, nop := c.rec.(telemetry.Nop)
+	nop := !c.live
 	if nop {
 		c.clock.AdvanceSamples(uint64(n))
 	}

@@ -51,6 +51,14 @@ func NewResampler(l, m, tapsPerPhase int) *Resampler {
 // Ratio returns the reduced interpolation and decimation factors.
 func (r *Resampler) Ratio() (l, m int) { return r.l, r.m }
 
+// GroupDelayOutputSamples returns the anti-aliasing filter's group delay in
+// output-rate samples. The lowpass is linear-phase, so its delay is exactly
+// (numTaps-1)/2 positions of the virtual upsampled stream, which advances M
+// positions per output sample.
+func (r *Resampler) GroupDelayOutputSamples() float64 {
+	return float64(len(r.taps)-1) / float64(2*r.m)
+}
+
 // Reset clears filter state.
 func (r *Resampler) Reset() {
 	r.hist = r.hist[:0]

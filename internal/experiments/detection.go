@@ -124,18 +124,18 @@ func frameWaveform(kind FrameKind, seq int, seed int64) (dsp.Samples, error) {
 
 // buildDetector assembles a jammer radio with the requested detection
 // configuration; the returned counter function reports the chosen event's
-// edge count.
-func buildDetector(cfg DetectionConfig) (*radio.N210, func() uint64, error) {
+// edge count, and the returned event is the resolved detection event.
+func buildDetector(cfg DetectionConfig) (*radio.N210, func() uint64, trigger.Event, error) {
 	r := radio.New()
 	if err := r.SetSourceRate(wifi.SampleRate); err != nil {
-		return nil, nil, err
+		return nil, nil, trigger.EventNone, err
 	}
 	h := host.New(r.Core())
 	ev := cfg.Event
 	if len(cfg.Template) > 0 {
 		if cfg.FATargetPerSec > 0 {
 			if _, err := h.ProgramCorrelatorFA(cfg.Template, cfg.FATargetPerSec); err != nil {
-				return nil, nil, err
+				return nil, nil, ev, err
 			}
 		} else {
 			frac := cfg.ThresholdFrac
@@ -143,7 +143,7 @@ func buildDetector(cfg DetectionConfig) (*radio.N210, func() uint64, error) {
 				frac = 0.5
 			}
 			if _, err := h.ProgramCorrelator(cfg.Template, frac); err != nil {
-				return nil, nil, err
+				return nil, nil, ev, err
 			}
 		}
 		if ev == trigger.EventNone {
@@ -152,22 +152,22 @@ func buildDetector(cfg DetectionConfig) (*radio.N210, func() uint64, error) {
 	}
 	if cfg.EnergyThresholdDB > 0 {
 		if _, err := h.ProgramEnergy(cfg.EnergyThresholdDB, 0); err != nil {
-			return nil, nil, err
+			return nil, nil, ev, err
 		}
 		if ev == trigger.EventNone {
 			ev = trigger.EventEnergyHigh
 		}
 	}
 	if ev == trigger.EventNone {
-		return nil, nil, fmt.Errorf("experiments: no detector armed")
+		return nil, nil, ev, fmt.Errorf("experiments: no detector armed")
 	}
 	if _, err := h.ProgramTrigger(core.FusionSequence, []trigger.Event{ev}, 0); err != nil {
-		return nil, nil, err
+		return nil, nil, ev, err
 	}
 	// The jammer must stay silent during characterization: minimum burst,
 	// zero gain.
 	if _, err := h.ProgramJammer(host.Personality{Gain: 0.001}); err != nil {
-		return nil, nil, err
+		return nil, nil, ev, err
 	}
 	r.Start()
 	counter := func() uint64 {
@@ -181,7 +181,7 @@ func buildDetector(cfg DetectionConfig) (*radio.N210, func() uint64, error) {
 			return st.EnergyHighDetections
 		}
 	}
-	return r, counter, nil
+	return r, counter, ev, nil
 }
 
 // CharacterizeDetection runs the §3.2 methodology: measure the false-alarm
@@ -196,7 +196,7 @@ func CharacterizeDetection(cfg DetectionConfig) (*DetectionResult, error) {
 	}
 
 	// --- False-alarm calibration: terminated input, noise only. ---
-	r, count, err := buildDetector(cfg)
+	r, count, _, err := buildDetector(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -221,7 +221,7 @@ func CharacterizeDetection(cfg DetectionConfig) (*DetectionResult, error) {
 	result.Points = make([]DetectionPoint, len(cfg.SNRsDB))
 	err = forEach(len(cfg.SNRsDB), func(pi int) error {
 		snr := cfg.SNRsDB[pi]
-		r, count, err := buildDetector(cfg)
+		r, count, _, err := buildDetector(cfg)
 		if err != nil {
 			return err
 		}

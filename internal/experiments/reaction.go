@@ -54,6 +54,18 @@ type ReactionResult struct {
 	Recorder *telemetry.Live
 }
 
+// WiFiFrontEndGroupDelayCycles returns the group delay, in hardware clock
+// cycles, of the DDC a WiFi-rate (20 MSPS) source passes through before the
+// detectors see it. Latency budgets anchored at the frame boundary entering
+// the radio must allow for it on top of the paper's detection timeline.
+func WiFiFrontEndGroupDelayCycles() uint64 {
+	r := radio.New()
+	if err := r.SetSourceRate(wifi.SampleRate); err != nil {
+		return 0
+	}
+	return r.GroupDelayCycles()
+}
+
 // MeasureReactionLatency streams WiFi frames with per-frame telemetry
 // markers through an energy-triggered jammer and returns the reaction
 // latency distribution — the end-to-end measurement behind Fig. 5's

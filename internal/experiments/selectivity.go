@@ -171,7 +171,7 @@ func selectivityCell(tpl []complex128, thresholdFrac, energyDB float64, sig Stan
 		SNRsDB:            []float64{snrDB},
 		Seed:              seed,
 	}
-	r, counter, err := buildDetector(cfg)
+	r, counter, _, err := buildDetector(cfg)
 	if err != nil {
 		return 0, err
 	}

@@ -11,6 +11,7 @@ package radio
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/dsp"
@@ -120,6 +121,18 @@ func (r *N210) SetSourceRate(sourceHz int) error {
 
 // SourceRate returns the declared input sample rate in Hz.
 func (r *N210) SourceRate() int { return r.sourceHz }
+
+// GroupDelayCycles returns the receive front end's group delay in hardware
+// clock cycles, rounded up: the DDC resampler's anti-aliasing filter delays
+// every sample by this much before the detectors see it, so any end-to-end
+// latency budget anchored at the antenna must allow for it on top of the
+// detection + trigger timeline. Zero when no resampling is configured.
+func (r *N210) GroupDelayCycles() uint64 {
+	if r.ddc == nil {
+		return 0
+	}
+	return uint64(math.Ceil(r.ddc.GroupDelayOutputSamples() * fpga.CyclesPerSample))
+}
 
 // MarkFrame journals a telemetry frame-start marker for a frame that will
 // begin offsetSourceSamples into the *next* buffer handed to Process. The

@@ -31,6 +31,7 @@ func (l *Live) WriteMetrics(w io.Writer) error {
 		{"host_polls_total", s.Counters.HostPolls},
 		{"journal_events", uint64(s.Events)},
 		{"journal_dropped_total", s.Dropped},
+		{"engagements_total", s.Engagements},
 	}
 	for _, c := range counters {
 		if _, err := fmt.Fprintf(w, "# TYPE %s%s counter\n%s%s %d\n",

@@ -112,6 +112,28 @@ func (h *Histogram) Quantile(q float64) uint64 {
 // Reset clears all observations.
 func (h *Histogram) Reset() { *h = Histogram{} }
 
+// MergeSnapshot folds a snapshot of another histogram into this one. Bucket
+// upper bounds are exact bucket boundaries, so each snapshot bucket lands in
+// the identical bucket here and quantiles of the merged histogram match a
+// histogram that had observed both streams directly (sum, count, min and max
+// are merged exactly).
+func (h *Histogram) MergeSnapshot(s HistogramSnapshot) {
+	if s.Count == 0 {
+		return
+	}
+	for _, b := range s.Buckets {
+		h.counts[bucketIndex(b[0])] += b[1]
+	}
+	if h.count == 0 || s.Min < h.min {
+		h.min = s.Min
+	}
+	if s.Max > h.max {
+		h.max = s.Max
+	}
+	h.count += s.Count
+	h.sum += s.Sum
+}
+
 // Buckets calls fn for every non-empty bucket in ascending order with the
 // bucket's inclusive upper bound and its count.
 func (h *Histogram) Buckets(fn func(upper uint64, count uint64)) {

@@ -74,9 +74,9 @@ func (l *Live) BindCounters(c *Counters) {
 
 // Event records one datapath event; it never allocates (the journal ring is
 // preallocated and the histograms are fixed arrays).
-func (l *Live) Event(kind EventKind, cycle uint64, arg uint64) {
+func (l *Live) Event(kind EventKind, cycle uint64, arg uint64, eng uint32) {
 	l.mu.Lock()
-	l.journal.Append(Event{Cycle: cycle, Kind: kind, Arg: arg})
+	l.journal.Append(Event{Cycle: cycle, Kind: kind, Arg: arg, Eng: eng})
 	if kind < numEventKinds {
 		l.eventsByKind[kind]++
 	}
@@ -137,6 +137,16 @@ func (l *Live) EventCount(kind EventKind) uint64 {
 	return l.eventsByKind[kind]
 }
 
+// Dropped returns how many journal events have been lost to ring-buffer
+// wrap-around so far. A non-zero value means Events() no longer holds the
+// whole run and any artifact derived from the journal (span trees, verdict
+// ledgers) is incomplete.
+func (l *Live) Dropped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.journal.Dropped()
+}
+
 // HistogramSnapshot is a point-in-time copy of one latency histogram with
 // its headline statistics, in hardware clock cycles.
 type HistogramSnapshot struct {
@@ -191,6 +201,9 @@ type Snapshot struct {
 	Histograms []HistogramSnapshot
 	Events     int
 	Dropped    uint64
+	// Engagements counts completed detection engagements (holdoff-release
+	// events): the unit the span and verdict layers reason about.
+	Engagements uint64
 }
 
 // Histogram returns the named histogram from the snapshot (zero value when
@@ -209,8 +222,9 @@ func (l *Live) Snapshot() Snapshot {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	s := Snapshot{
-		Events:  l.journal.Len(),
-		Dropped: l.journal.Dropped(),
+		Events:      l.journal.Len(),
+		Dropped:     l.journal.Dropped(),
+		Engagements: l.eventsByKind[EvHoldoffRelease],
 		Histograms: []HistogramSnapshot{
 			snapshotHist(HistReaction, &l.reaction),
 			snapshotHist(HistDetectToRF, &l.detectToRF),
@@ -223,6 +237,32 @@ func (l *Live) Snapshot() Snapshot {
 		s.Counters = l.counters.Snapshot()
 	}
 	return s
+}
+
+// Merge folds a snapshot of another recorder into this one's histograms:
+// every histogram in the snapshot whose name matches one of l's is added
+// bucket-by-bucket. Counters, journal and pairing state are untouched —
+// merge is for aggregating latency distributions across the per-worker
+// recorders of a parallel sweep. Taking a Snapshot first (instead of locking
+// two Live instances) keeps the operation free of lock-ordering hazards, so
+// it is safe to call while both recorders keep capturing.
+func (l *Live) Merge(s Snapshot) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, hs := range s.Histograms {
+		switch hs.Name {
+		case HistReaction:
+			l.reaction.MergeSnapshot(hs)
+		case HistDetectToRF:
+			l.detectToRF.MergeSnapshot(hs)
+		case HistTriggerToRF:
+			l.triggerToRF.MergeSnapshot(hs)
+		case HistJamBurst:
+			l.burst.MergeSnapshot(hs)
+		case HistXCorrLead:
+			l.lead.MergeSnapshot(hs)
+		}
+	}
 }
 
 // Reset clears the journal, histograms and pairing state (bound counters

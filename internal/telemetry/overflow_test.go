@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestJournalOverflowExposedOnMetrics fills a deliberately shallow journal
+// past its ring depth and checks the overflow is visible everywhere an
+// operator would look: Live.Dropped, the snapshot, and the /metrics
+// exposition (journal_dropped_total) — alongside the engagement counter so
+// a scrape can tell "journal truncated" apart from "nothing happened".
+func TestJournalOverflowExposedOnMetrics(t *testing.T) {
+	l := NewLive(8)
+	for i := 0; i < 20; i++ {
+		l.Event(EvEnergyHighEdge, uint64(100*i), 0, uint32(i+1))
+		l.Event(EvHoldoffRelease, uint64(100*i+50), 0, uint32(i+1))
+	}
+	const want = 40 - 8
+	if got := l.Dropped(); got != want {
+		t.Fatalf("Dropped() = %d, want %d", got, want)
+	}
+	s := l.Snapshot()
+	if s.Dropped != want {
+		t.Errorf("snapshot Dropped = %d, want %d", s.Dropped, want)
+	}
+	if s.Engagements != 20 {
+		t.Errorf("snapshot Engagements = %d, want 20 (counted, not journal-limited)", s.Engagements)
+	}
+
+	rec := httptest.NewRecorder()
+	l.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, line := range []string{
+		"reactivejam_journal_dropped_total 32",
+		"reactivejam_engagements_total 20",
+		"reactivejam_journal_events 8",
+	} {
+		if !strings.Contains(body, line) {
+			t.Errorf("/metrics missing %q\n%s", line, body)
+		}
+	}
+}
+
+// TestEngagementCounterSurvivesOverflow: the engagement count comes from a
+// counter incremented at append time, so it must keep the true total even
+// when the EvHoldoffRelease events themselves were evicted from the ring.
+func TestEngagementCounterSurvivesOverflow(t *testing.T) {
+	l := NewLive(4)
+	for i := 0; i < 10; i++ {
+		l.Event(EvHoldoffRelease, uint64(i), 0, uint32(i+1))
+	}
+	// Flood the ring so no release events remain in the journal.
+	for i := 0; i < 16; i++ {
+		l.Event(EvHostPoll, uint64(1000+i), 0, 0)
+	}
+	for _, e := range l.Events() {
+		if e.Kind == EvHoldoffRelease {
+			t.Fatal("test setup: release events should have been evicted")
+		}
+	}
+	if s := l.Snapshot(); s.Engagements != 10 {
+		t.Errorf("Engagements = %d, want 10 despite eviction", s.Engagements)
+	}
+}
+
+// TestLiveConcurrentMergeAndExport races the APIs added for the verdict
+// and span layers — Merge of worker snapshots, Dropped reads, and Chrome
+// trace export — against a concurrently appending datapath. Run under
+// -race by `make ci`.
+func TestLiveConcurrentMergeAndExport(t *testing.T) {
+	l := NewLive(128)
+	var c Counters
+	l.BindCounters(&c)
+
+	worker := NewLive(128)
+	for i := 0; i < 32; i++ {
+		drive(worker, uint64(i)*3000)
+		worker.Event(EvHoldoffRelease, uint64(i)*3000+2900, 0, uint32(i+1))
+	}
+	ws := worker.Snapshot()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				switch g {
+				case 0:
+					drive(l, uint64(i)*2000)
+					l.Event(EvHoldoffRelease, uint64(i)*2000+1900, 0, uint32(i+1))
+				case 1:
+					l.Merge(ws)
+				case 2:
+					_ = l.Dropped()
+					_ = l.Snapshot().Engagements
+				default:
+					var buf bytes.Buffer
+					_ = l.WriteTrace(&buf)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Merge folds histograms only, so engagements are the 300 local releases.
+	if got := l.Snapshot().Engagements; got != 300 {
+		t.Errorf("Engagements = %d, want 300 (Merge must not double-count)", got)
+	}
+	// Each merge folded the worker's 32 reaction observations on top of the
+	// 300 local ones.
+	if got := l.Snapshot().Histogram(HistReaction).Count; got != 300*32+300 {
+		t.Errorf("merged reaction count = %d, want %d", got, 300*32+300)
+	}
+}

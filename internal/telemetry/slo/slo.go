@@ -1,0 +1,164 @@
+// Package slo evaluates declarative service-level objectives over the
+// metrics a telemetry-instrumented run produces. Each budget names one
+// metric and an inclusive upper bound; Evaluate joins budgets against a
+// metric map and reports pass/fail per budget and overall. The default
+// budget set encodes the paper's reactive-jamming guarantees: the
+// single-stage energy reaction budget (Ten_det 1.28 µs + Tinit 80 ns =
+// 1.36 µs, i.e. 136 cycles of the 100 MHz clock) plus the receive front
+// end's group delay, the 8-cycle trigger-to-RF turnaround, a late-jam
+// ceiling, a false-alarm-rate ceiling, and zero tolerance for dropped
+// journal events (a truncated journal voids every other figure).
+package slo
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Paper timing budgets in 100 MHz clock cycles.
+const (
+	// ReactionBudgetCycles is Ten_det (128 cycles = 1.28 µs) + Tinit
+	// (8 cycles = 80 ns): the Fig. 5 single-stage energy response bound.
+	ReactionBudgetCycles = 136
+	// TinitBudgetCycles is the trigger-fire → RF-on turnaround (80 ns).
+	TinitBudgetCycles = 8
+)
+
+// Metric names used by the default budgets.
+const (
+	MetricReactionP99    = "reaction_p99_cycles"
+	MetricTriggerToRFP99 = "trigger_to_rf_p99_cycles"
+	MetricLateFraction   = "late_fraction"
+	MetricFalseAlarmsSec = "false_alarms_per_sec"
+	MetricJournalDropped = "journal_dropped"
+)
+
+// Budget is one declarative objective: metric value must be <= Max.
+type Budget struct {
+	// Metric is the key into the metric map.
+	Metric string
+	// Max is the inclusive upper bound.
+	Max float64
+	// Description says where the bound comes from (shown in reports).
+	Description string
+}
+
+// Check is one evaluated budget.
+type Check struct {
+	Budget Budget
+	// Value is the measured metric (undefined when Missing).
+	Value float64
+	// Missing reports that the metric was absent from the run — a missing
+	// metric fails its budget, since an objective that cannot be evaluated
+	// cannot be met.
+	Missing bool
+	Pass    bool
+}
+
+// Report is the outcome of evaluating a budget set.
+type Report struct {
+	Checks []Check
+	// Pass is true only when every budget passed.
+	Pass bool
+}
+
+// Failed returns the failing checks.
+func (r Report) Failed() []Check {
+	var out []Check
+	for _, c := range r.Checks {
+		if !c.Pass {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// DefaultBudgets returns the paper-derived budget set. frontEndCycles is
+// the receive front end's group delay allowance added to the reaction
+// budget: the paper's 1.36 µs timeline starts when samples reach the
+// detectors, while the measured reaction histogram is anchored at the
+// frame boundary entering the DDC, so the budget must absorb the
+// resampler's group delay (radio.GroupDelayCycles).
+func DefaultBudgets(frontEndCycles uint64) []Budget {
+	return []Budget{
+		{
+			Metric:      MetricReactionP99,
+			Max:         float64(ReactionBudgetCycles + frontEndCycles),
+			Description: fmt.Sprintf("Ten_det+Tinit (136 cyc = 1.36 µs) + %d cyc front-end group delay", frontEndCycles),
+		},
+		{
+			Metric:      MetricTriggerToRFP99,
+			Max:         TinitBudgetCycles,
+			Description: "Tinit: trigger→RF turnaround (80 ns)",
+		},
+		{
+			Metric:      MetricLateFraction,
+			Max:         0.01,
+			Description: "jams landing after the packet ended, of detected packets",
+		},
+		{
+			Metric:      MetricFalseAlarmsSec,
+			Max:         1.0,
+			Description: "noise-only detection rate (paper targets 0.083–0.52/s)",
+		},
+		{
+			Metric:      MetricJournalDropped,
+			Max:         0,
+			Description: "journal ring overflow voids the other figures",
+		},
+	}
+}
+
+// Evaluate joins budgets against measured metrics.
+func Evaluate(budgets []Budget, metrics map[string]float64) Report {
+	rep := Report{Pass: true}
+	for _, b := range budgets {
+		c := Check{Budget: b}
+		v, ok := metrics[b.Metric]
+		if !ok {
+			c.Missing = true
+		} else {
+			c.Value = v
+			c.Pass = v <= b.Max
+		}
+		if !c.Pass {
+			rep.Pass = false
+		}
+		rep.Checks = append(rep.Checks, c)
+	}
+	return rep
+}
+
+// WriteReport renders the evaluation as an aligned text table, one line per
+// budget, with unevaluated metrics listed after (sorted for determinism).
+func WriteReport(w io.Writer, rep Report, metrics map[string]float64) error {
+	used := map[string]bool{}
+	for _, c := range rep.Checks {
+		used[c.Budget.Metric] = true
+		status := "PASS"
+		val := fmt.Sprintf("%g", c.Value)
+		if c.Missing {
+			status, val = "FAIL", "missing"
+		} else if !c.Pass {
+			status = "FAIL"
+		}
+		if _, err := fmt.Fprintf(w, "  %-4s %-28s %10s <= %-10g %s\n",
+			status, c.Budget.Metric, val, c.Budget.Max, c.Budget.Description); err != nil {
+			return err
+		}
+	}
+	var extra []string
+	for k := range metrics {
+		if !used[k] {
+			extra = append(extra, k)
+		}
+	}
+	sort.Strings(extra)
+	for _, k := range extra {
+		if _, err := fmt.Fprintf(w, "  info %-28s %10g\n", k, metrics[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

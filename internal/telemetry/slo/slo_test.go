@@ -1,0 +1,94 @@
+package slo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func metricsOK() map[string]float64 {
+	return map[string]float64{
+		MetricReactionP99:    151, // the measured p99 with DDC group delay
+		MetricTriggerToRFP99: 8,
+		MetricLateFraction:   0,
+		MetricFalseAlarmsSec: 0.1,
+		MetricJournalDropped: 0,
+	}
+}
+
+func TestDefaultBudgetsPassOnMeasuredRun(t *testing.T) {
+	// 20 cycles is the WiFi 5/4 DDC group-delay allowance; the measured
+	// 151-cycle p99 must clear 136+20.
+	rep := Evaluate(DefaultBudgets(20), metricsOK())
+	if !rep.Pass {
+		t.Fatalf("expected pass, failed checks: %+v", rep.Failed())
+	}
+	if len(rep.Checks) != 5 {
+		t.Fatalf("got %d checks, want 5", len(rep.Checks))
+	}
+}
+
+func TestReactionBudgetViolation(t *testing.T) {
+	m := metricsOK()
+	m[MetricReactionP99] = 157 // one cycle over 136+20
+	rep := Evaluate(DefaultBudgets(20), m)
+	if rep.Pass {
+		t.Fatal("expected reaction p99 violation to fail")
+	}
+	failed := rep.Failed()
+	if len(failed) != 1 || failed[0].Budget.Metric != MetricReactionP99 {
+		t.Fatalf("failed = %+v", failed)
+	}
+	// Exactly at the bound passes (inclusive).
+	m[MetricReactionP99] = 156
+	if rep := Evaluate(DefaultBudgets(20), m); !rep.Pass {
+		t.Fatal("value at the bound must pass")
+	}
+}
+
+func TestMissingMetricFails(t *testing.T) {
+	m := metricsOK()
+	delete(m, MetricLateFraction)
+	rep := Evaluate(DefaultBudgets(20), m)
+	if rep.Pass {
+		t.Fatal("missing metric must fail its budget")
+	}
+	var missing *Check
+	for i := range rep.Checks {
+		if rep.Checks[i].Budget.Metric == MetricLateFraction {
+			missing = &rep.Checks[i]
+		}
+	}
+	if missing == nil || !missing.Missing || missing.Pass {
+		t.Fatalf("missing-metric check = %+v", missing)
+	}
+}
+
+func TestDroppedEventsFail(t *testing.T) {
+	m := metricsOK()
+	m[MetricJournalDropped] = 1
+	if rep := Evaluate(DefaultBudgets(20), m); rep.Pass {
+		t.Fatal("dropped journal events must fail")
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	m := metricsOK()
+	m["extra_metric"] = 42
+	m[MetricTriggerToRFP99] = 9
+	rep := Evaluate(DefaultBudgets(20), m)
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, rep, m); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"PASS reaction_p99_cycles",
+		"FAIL trigger_to_rf_p99_cycles",
+		"info extra_metric",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

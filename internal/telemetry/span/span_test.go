@@ -1,0 +1,149 @@
+package span
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// journal builds a synthetic two-engagement journal: engagement 1 is a full
+// detect → fire → delay → init → burst → holdoff chain, engagement 2 is a
+// noise edge that never triggers.
+func journal() []telemetry.Event {
+	return []telemetry.Event{
+		{Cycle: 10, Kind: telemetry.EvFrameStart},         // eng 0: ignored
+		{Cycle: 100, Kind: telemetry.EvXCorrEdge, Eng: 1}, // opens eng 1
+		{Cycle: 100, Kind: telemetry.EvTriggerArm, Eng: 1, Arg: 1},
+		{Cycle: 128, Kind: telemetry.EvEnergyHighEdge, Eng: 1},
+		{Cycle: 128, Kind: telemetry.EvTriggerFire, Eng: 1},
+		{Cycle: 128, Kind: telemetry.EvJamDelay, Eng: 1},
+		{Cycle: 160, Kind: telemetry.EvJamInit, Eng: 1},
+		{Cycle: 168, Kind: telemetry.EvJamRFOn, Eng: 1},
+		{Cycle: 10168, Kind: telemetry.EvJamRFOff, Eng: 1},
+		{Cycle: 10232, Kind: telemetry.EvHoldoffRelease, Eng: 1},
+		{Cycle: 20000, Kind: telemetry.EvEnergyLowEdge, Eng: 2}, // noise
+		{Cycle: 20064, Kind: telemetry.EvHoldoffRelease, Eng: 2},
+	}
+}
+
+func TestBuildFullEngagement(t *testing.T) {
+	engs := Build(journal())
+	if len(engs) != 2 {
+		t.Fatalf("got %d engagements, want 2", len(engs))
+	}
+	e := engs[0]
+	if e.ID != 1 || e.FirstEdge != 100 {
+		t.Fatalf("eng1 id=%d firstEdge=%d", e.ID, e.FirstEdge)
+	}
+	if !e.HasFire || e.Fire != 128 {
+		t.Errorf("fire = %d (has=%v), want 128", e.Fire, e.HasFire)
+	}
+	if !e.HasRF || e.RFOn != 168 || e.RFOff != 10168 {
+		t.Errorf("rf on/off = %d/%d", e.RFOn, e.RFOff)
+	}
+	if !e.Complete || e.Release != 10232 {
+		t.Errorf("release = %d complete=%v", e.Release, e.Complete)
+	}
+	if r, ok := e.ReactionCycles(); !ok || r != 68 {
+		t.Errorf("reaction = %d (%v), want 68", r, ok)
+	}
+	if tu, ok := e.TurnaroundCycles(); !ok || tu != 40 {
+		t.Errorf("turnaround = %d (%v), want 40 (32 delay + 8 init)", tu, ok)
+	}
+	if b, ok := e.BurstCycles(); !ok || b != 10000 {
+		t.Errorf("burst = %d (%v), want 10000", b, ok)
+	}
+	if len(e.Events) != 9 {
+		t.Errorf("eng1 carries %d events, want 9", len(e.Events))
+	}
+}
+
+func TestTreeStructure(t *testing.T) {
+	engs := Build(journal())
+	tree := engs[0].Tree()
+	if tree.Name != "engagement-1" || tree.Start != 100 || tree.End != 10232 {
+		t.Fatalf("root = %+v", tree)
+	}
+	names := make([]string, len(tree.Children))
+	for i, c := range tree.Children {
+		names[i] = c.Name
+	}
+	want := []string{"detect", "turnaround", "burst", "holdoff"}
+	if len(names) != len(want) {
+		t.Fatalf("children = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("children = %v, want %v", names, want)
+		}
+	}
+	turn := tree.Children[1]
+	if len(turn.Children) != 2 ||
+		turn.Children[0].Name != "jam-delay" || turn.Children[1].Name != "duc-fill" {
+		t.Fatalf("turnaround children = %+v", turn.Children)
+	}
+	if d := turn.Children[1]; d.Start != 160 || d.End != 168 {
+		t.Errorf("duc-fill = [%d,%d], want [160,168] (8-cycle Tinit)", d.Start, d.End)
+	}
+	// Children tile the causal chain: each starts where the previous ended.
+	if tree.Children[0].End != tree.Children[1].Start ||
+		tree.Children[1].End != tree.Children[2].Start ||
+		tree.Children[2].End != tree.Children[3].Start {
+		t.Errorf("spans do not tile: %+v", tree.Children)
+	}
+}
+
+func TestNoiseEngagementTree(t *testing.T) {
+	engs := Build(journal())
+	e := engs[1]
+	if e.HasFire || e.HasRF {
+		t.Fatalf("noise engagement has fire/rf: %+v", e)
+	}
+	tree := e.Tree()
+	if len(tree.Children) != 1 || tree.Children[0].Name != "holdoff" {
+		t.Fatalf("noise tree children = %+v", tree.Children)
+	}
+	if h := tree.Children[0]; h.Start != 20000 || h.End != 20064 {
+		t.Errorf("holdoff = [%d,%d]", h.Start, h.End)
+	}
+}
+
+func TestIncompleteEngagement(t *testing.T) {
+	// Journal truncated mid-burst: engagement must not claim completion and
+	// End() falls back to the last event seen.
+	ev := journal()[:8] // through EvJamRFOn
+	engs := Build(ev)
+	e := engs[0]
+	if e.Complete {
+		t.Fatal("truncated engagement reported complete")
+	}
+	if e.End() != 168 {
+		t.Errorf("End() = %d, want last event 168", e.End())
+	}
+	if _, ok := e.BurstCycles(); ok {
+		t.Error("burst reported for engagement with no RF-off")
+	}
+}
+
+func TestWriteTree(t *testing.T) {
+	engs := Build(journal())
+	var buf bytes.Buffer
+	if err := WriteTree(&buf, &engs[0]); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"engagement-1 @100 +10132 cyc",
+		"  detect @100 +28 cyc",
+		"  turnaround @128 +40 cyc",
+		"    duc-fill @160 +8 cyc (80ns)",
+		"  burst @168 +10000 cyc (100µs)",
+		"  holdoff @10168 +64 cyc",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -55,6 +55,10 @@ const (
 	EvJamRFOn
 	// EvJamRFOff records the end of a jamming burst. Arg: unused.
 	EvJamRFOff
+	// EvHoldoffRelease closes a detection engagement: the jammer is idle
+	// again and the detector holdoff has elapsed, so the datapath can
+	// service a new packet. Arg: unused.
+	EvHoldoffRelease
 	// EvRegWrite records a user register-bus write.
 	// Arg: address<<32 | value.
 	EvRegWrite
@@ -91,6 +95,8 @@ func (k EventKind) String() string {
 		return "jam-rf-on"
 	case EvJamRFOff:
 		return "jam-rf-off"
+	case EvHoldoffRelease:
+		return "holdoff-release"
 	case EvRegWrite:
 		return "reg-write"
 	case EvHostPoll:
@@ -101,7 +107,8 @@ func (k EventKind) String() string {
 }
 
 // Event is one journal entry: what happened, at which hardware-clock cycle,
-// with a kind-specific argument.
+// with a kind-specific argument, and — for sample-clocked datapath events —
+// the detection engagement it belongs to.
 type Event struct {
 	// Cycle is the 100 MHz hardware clock cycle of the event.
 	Cycle uint64
@@ -109,6 +116,12 @@ type Event struct {
 	Kind EventKind
 	// Arg carries kind-specific data (register address/value, stage index).
 	Arg uint64
+	// Eng is the detection-engagement ID the event belongs to, assigned by
+	// the core when a detector edge opens an engagement and carried through
+	// trigger, jammer and holdoff events until the engagement closes with
+	// EvHoldoffRelease. Zero means the event is outside any engagement
+	// (frame markers, register writes, host polls).
+	Eng uint32
 }
 
 // Recorder receives datapath events. Implementations must be safe for the
@@ -117,8 +130,8 @@ type Event struct {
 // host goroutine concurrently.
 type Recorder interface {
 	// Event records one event. It must not allocate: it is called from the
-	// sample loop.
-	Event(kind EventKind, cycle uint64, arg uint64)
+	// sample loop. eng is the engagement ID (0 = none).
+	Event(kind EventKind, cycle uint64, arg uint64, eng uint32)
 }
 
 // Nop is the default recorder: it discards everything. The zero value is
@@ -126,7 +139,7 @@ type Recorder interface {
 type Nop struct{}
 
 // Event discards the event.
-func (Nop) Event(EventKind, uint64, uint64) {}
+func (Nop) Event(EventKind, uint64, uint64, uint32) {}
 
 // Discard is a shared no-op recorder instance.
 var Discard Recorder = Nop{}

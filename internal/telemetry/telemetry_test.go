@@ -83,13 +83,13 @@ func TestJournalWrapAround(t *testing.T) {
 // drive pushes one synthetic frame's event sequence through the recorder:
 // frame start, xcorr edge, energy edge, trigger fire, jam on/off.
 func drive(l *Live, base uint64) {
-	l.Event(EvFrameStart, base, 0)
-	l.Event(EvXCorrEdge, base+256, 0)      // 2.56 µs correlator latency
-	l.Event(EvEnergyHighEdge, base+128, 0) // energy window fills earlier
-	l.Event(EvTriggerFire, base+128, 0)    // single-stage energy trigger
-	l.Event(EvJamInit, base+128, 0)
-	l.Event(EvJamRFOn, base+136, 0)        // 8-cycle Tinit
-	l.Event(EvJamRFOff, base+136+10000, 0) // 100 µs burst
+	l.Event(EvFrameStart, base, 0, 0)
+	l.Event(EvXCorrEdge, base+256, 0, 1)      // 2.56 µs correlator latency
+	l.Event(EvEnergyHighEdge, base+128, 0, 1) // energy window fills earlier
+	l.Event(EvTriggerFire, base+128, 0, 1)    // single-stage energy trigger
+	l.Event(EvJamInit, base+128, 0, 1)
+	l.Event(EvJamRFOn, base+136, 0, 1)        // 8-cycle Tinit
+	l.Event(EvJamRFOff, base+136+10000, 0, 1) // 100 µs burst
 }
 
 func TestLiveHistogramsFromEventPairs(t *testing.T) {
@@ -123,8 +123,8 @@ func TestLiveHistogramsFromEventPairs(t *testing.T) {
 
 func TestLiveLeadPairing(t *testing.T) {
 	l := NewLive(64)
-	l.Event(EvXCorrEdge, 1000, 0)
-	l.Event(EvEnergyHighEdge, 1128, 0)
+	l.Event(EvXCorrEdge, 1000, 0, 0)
+	l.Event(EvEnergyHighEdge, 1128, 0, 0)
 	s := l.Snapshot().Histogram(HistXCorrLead)
 	if s.Count != 1 || s.Min != 128 {
 		t.Fatalf("lead count=%d min=%d, want one 128-cycle lead", s.Count, s.Min)
@@ -157,7 +157,7 @@ func TestWriteMetricsFormat(t *testing.T) {
 
 func TestWriteTraceParses(t *testing.T) {
 	l := NewLive(64)
-	l.Event(EvRegWrite, 5, uint64(12)<<32|77)
+	l.Event(EvRegWrite, 5, uint64(12)<<32|77, 0)
 	drive(l, 100)
 	var buf bytes.Buffer
 	if err := l.WriteTrace(&buf); err != nil {
@@ -218,7 +218,7 @@ func TestLiveConcurrentAccess(t *testing.T) {
 				case 0:
 					drive(l, uint64(i)*2000)
 				case 1:
-					l.Event(EvRegWrite, uint64(i), uint64(i)<<32)
+					l.Event(EvRegWrite, uint64(i), uint64(i)<<32, 0)
 				case 2:
 					_ = l.Snapshot()
 				default:

@@ -26,51 +26,95 @@ type traceEvent struct {
 
 // Trace rows: one tid per subsystem so the viewer groups events sensibly.
 const (
-	tidFrames   = 1
-	tidDetector = 2
-	tidTrigger  = 3
-	tidJammer   = 4
-	tidRegBus   = 5
-	tidHost     = 6
+	tidFrames      = 1
+	tidDetector    = 2
+	tidTrigger     = 3
+	tidJammer      = 4
+	tidRegBus      = 5
+	tidHost        = 6
+	tidEngagements = 7
 )
 
-var tidNames = map[int]string{
-	tidFrames:   "frames",
-	tidDetector: "detectors",
-	tidTrigger:  "trigger-fsm",
-	tidJammer:   "jammer",
-	tidRegBus:   "register-bus",
-	tidHost:     "host",
+// tidNames is ordered by tid so the exported metadata is deterministic
+// (golden-file tests compare the trace byte-for-byte).
+var tidNames = [...]struct {
+	tid  int
+	name string
+}{
+	{tidFrames, "frames"},
+	{tidDetector, "detectors"},
+	{tidTrigger, "trigger-fsm"},
+	{tidJammer, "jammer"},
+	{tidRegBus, "register-bus"},
+	{tidHost, "host"},
+	{tidEngagements, "engagements"},
 }
 
 func cyclesToUS(c uint64) float64 { return float64(c) / 100 }
 
 // appendTraceEvents converts journal events into trace events. Jam
-// delay/init/burst phases are stitched into duration slices; everything
-// else becomes an instant event.
+// delay/init/burst phases are stitched into duration slices, every
+// engagement becomes a duration slice on its own row, and everything else
+// becomes an instant event carrying its engagement ID.
 func appendTraceEvents(out []traceEvent, events []Event) []traceEvent {
 	var (
 		phaseStart uint64 // start cycle of the current jammer phase slice
 		phaseName  string
+		phaseEng   uint32
 	)
+	// Engagement slices: first and last cycle seen per engagement ID, in
+	// order of first appearance.
+	type engSpan struct {
+		id          uint32
+		first, last uint64
+	}
+	var engs []engSpan
+	engIdx := map[uint32]int{}
+	noteEng := func(e Event) {
+		if e.Eng == 0 {
+			return
+		}
+		i, ok := engIdx[e.Eng]
+		if !ok {
+			i = len(engs)
+			engIdx[e.Eng] = i
+			engs = append(engs, engSpan{id: e.Eng, first: e.Cycle})
+		}
+		engs[i].last = e.Cycle
+	}
+	engArgs := func(e Event, args map[string]any) map[string]any {
+		if e.Eng == 0 {
+			return args
+		}
+		if args == nil {
+			args = map[string]any{}
+		}
+		args["eng"] = e.Eng
+		return args
+	}
 	closePhase := func(end uint64) {
 		if phaseName == "" {
 			return
 		}
 		d := cyclesToUS(end - phaseStart)
+		var args map[string]any
+		if phaseEng != 0 {
+			args = map[string]any{"eng": phaseEng}
+		}
 		out = append(out, traceEvent{
 			Name: phaseName, Ph: "X", Ts: cyclesToUS(phaseStart), Dur: &d,
-			PID: 1, TID: tidJammer,
+			PID: 1, TID: tidJammer, Args: args,
 		})
 		phaseName = ""
 	}
 	instant := func(e Event, tid int, args map[string]any) {
 		out = append(out, traceEvent{
 			Name: e.Kind.String(), Ph: "i", Ts: cyclesToUS(e.Cycle),
-			PID: 1, TID: tid, S: "t", Args: args,
+			PID: 1, TID: tid, S: "t", Args: engArgs(e, args),
 		})
 	}
 	for _, e := range events {
+		noteEng(e)
 		switch e.Kind {
 		case EvFrameStart:
 			instant(e, tidFrames, nil)
@@ -82,15 +126,17 @@ func appendTraceEvents(out []traceEvent, events []Event) []traceEvent {
 			instant(e, tidTrigger, nil)
 		case EvJamDelay:
 			closePhase(e.Cycle)
-			phaseStart, phaseName = e.Cycle, "jam-delay"
+			phaseStart, phaseName, phaseEng = e.Cycle, "jam-delay", e.Eng
 		case EvJamInit:
 			closePhase(e.Cycle)
-			phaseStart, phaseName = e.Cycle, "jam-init"
+			phaseStart, phaseName, phaseEng = e.Cycle, "jam-init", e.Eng
 		case EvJamRFOn:
 			closePhase(e.Cycle)
-			phaseStart, phaseName = e.Cycle, "jam-burst"
+			phaseStart, phaseName, phaseEng = e.Cycle, "jam-burst", e.Eng
 		case EvJamRFOff:
 			closePhase(e.Cycle)
+		case EvHoldoffRelease:
+			instant(e, tidEngagements, nil)
 		case EvRegWrite:
 			instant(e, tidRegBus, map[string]any{
 				"addr": e.Arg >> 32, "value": e.Arg & 0xFFFFFFFF,
@@ -104,6 +150,13 @@ func appendTraceEvents(out []traceEvent, events []Event) []traceEvent {
 	if phaseName != "" {
 		closePhase(phaseStart)
 	}
+	for _, s := range engs {
+		d := cyclesToUS(s.last - s.first)
+		out = append(out, traceEvent{
+			Name: "engagement", Ph: "X", Ts: cyclesToUS(s.first), Dur: &d,
+			PID: 1, TID: tidEngagements, Args: map[string]any{"eng": s.id},
+		})
+	}
 	return out
 }
 
@@ -115,10 +168,10 @@ func (l *Live) WriteTrace(w io.Writer) error {
 		Name: "process_name", Ph: "M", PID: 1,
 		Args: map[string]any{"name": "reactivejam-core"},
 	})
-	for tid, name := range tidNames {
+	for _, t := range tidNames {
 		out = append(out, traceEvent{
-			Name: "thread_name", Ph: "M", PID: 1, TID: tid,
-			Args: map[string]any{"name": name},
+			Name: "thread_name", Ph: "M", PID: 1, TID: t.tid,
+			Args: map[string]any{"name": t.name},
 		})
 	}
 	out = appendTraceEvents(out, events)

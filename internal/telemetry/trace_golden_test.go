@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenJournal replays a fixed two-engagement capture: a clean
+// detect→jam→release engagement bracketed by host traffic, then a noise
+// engagement that opens on an energy edge and releases without a trigger.
+func goldenJournal(l *Live) {
+	l.Event(EvRegWrite, 2, uint64(17)<<32|4096, 0)
+	l.Event(EvFrameStart, 100, 0, 0)
+	l.Event(EvEnergyHighEdge, 228, 0, 1)
+	l.Event(EvXCorrEdge, 356, 0, 1)
+	l.Event(EvTriggerArm, 356, 0, 1)
+	l.Event(EvTriggerFire, 356, 1, 1)
+	l.Event(EvJamDelay, 356, 0, 1)
+	l.Event(EvJamInit, 456, 0, 1)
+	l.Event(EvJamRFOn, 464, 0, 1)
+	l.Event(EvJamRFOff, 1464, 0, 1)
+	l.Event(EvHoldoffRelease, 1528, 0, 1)
+	l.Event(EvHostPoll, 2000, 0, 0)
+	l.Event(EvEnergyHighEdge, 3000, 0, 2)
+	l.Event(EvHoldoffRelease, 3064, 0, 2)
+}
+
+// TestWriteTraceGolden locks the Chrome trace export byte-for-byte: the
+// export is deterministic (ordered thread metadata, sorted JSON keys), so
+// any schema or rendering change must show up as a reviewed golden diff.
+// Regenerate with: go test ./internal/telemetry -run TraceGolden -update
+func TestWriteTraceGolden(t *testing.T) {
+	l := NewLive(64)
+	goldenJournal(l)
+	var buf bytes.Buffer
+	if err := l.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join("testdata", "trace_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace export differs from %s (regenerate with -update if intended)\ngot:  %s\nwant: %s",
+			path, buf.Bytes(), want)
+	}
+}
+
+// TestTraceSchema asserts the structural invariants a trace viewer relies
+// on, independent of the exact bytes: a single process with named threads
+// for every row in use, phase kinds restricted to M/i/X, instant events
+// carrying a scope, duration slices non-negative, and engagement-stamped
+// events exposing their ID as an arg.
+func TestTraceSchema(t *testing.T) {
+	l := NewLive(64)
+	goldenJournal(l)
+	var buf bytes.Buffer
+	if err := l.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			S    string         `json:"s"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+
+	named := map[int]bool{}
+	engagementSlices := 0
+	for _, e := range doc.TraceEvents {
+		if e.PID != 1 {
+			t.Errorf("%s: pid = %d, want 1", e.Name, e.PID)
+		}
+		switch e.Ph {
+		case "M":
+			if e.Name == "thread_name" {
+				named[e.TID] = true
+			}
+		case "i":
+			if e.S == "" {
+				t.Errorf("instant %s lacks a scope", e.Name)
+			}
+		case "X":
+			if e.Dur == nil || *e.Dur < 0 {
+				t.Errorf("slice %s has no (or negative) duration", e.Name)
+			}
+			if e.Name == "engagement" {
+				engagementSlices++
+				if _, ok := e.Args["eng"].(float64); !ok {
+					t.Errorf("engagement slice lacks eng arg: %v", e.Args)
+				}
+			}
+		default:
+			t.Errorf("%s: unexpected phase %q", e.Name, e.Ph)
+		}
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "M" && !named[e.TID] {
+			t.Errorf("%s on tid %d which has no thread_name metadata", e.Name, e.TID)
+		}
+	}
+	if engagementSlices != 2 {
+		t.Errorf("engagement slices = %d, want 2", engagementSlices)
+	}
+}

@@ -1,0 +1,296 @@
+// Package verdict joins reconstructed detection engagements against ground
+// truth — which packets were actually on the air, expressed as hardware
+// clock windows — and classifies every packet as a true positive, false
+// negative or late jam, and every stray engagement as a false positive. The
+// per-packet records form the verdict ledger (one JSONL row per packet plus
+// one per false-positive engagement), and the aggregate summary yields the
+// Pd / false-alarm figures that must reconcile with the counter-based
+// detection characterization: both are derived from the same datapath run,
+// the counters by differencing and the ledger by windowing the journal, so
+// any divergence is an instrumentation bug, not measurement noise.
+package verdict
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/span"
+)
+
+// Class is the verdict for one packet or engagement.
+type Class uint8
+
+// The verdict taxonomy.
+const (
+	// TP: the packet was detected and jamming energy reached RF while the
+	// packet was still on the air.
+	TP Class = iota
+	// FP: an engagement opened by detector edges outside every packet
+	// window (noise or spur triggered).
+	FP
+	// FN: the packet produced no detector edge of the configured kind.
+	FN
+	// Late: the packet was detected but the jam reached RF only after the
+	// packet had ended (or never reached RF at all) — the "late jam" bucket
+	// of the reaction-latency analysis.
+	Late
+)
+
+func (c Class) String() string {
+	switch c {
+	case TP:
+		return "TP"
+	case FP:
+		return "FP"
+	case FN:
+		return "FN"
+	case Late:
+		return "LATE"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// MarshalJSON renders the class as its string form.
+func (c Class) MarshalJSON() ([]byte, error) { return json.Marshal(c.String()) }
+
+// Packet is one ground-truth packet: a half-open hardware-clock window
+// (Start, End] during which the packet's samples traversed the datapath. The
+// windows are clock readings taken around the receive call that carried the
+// packet, so a detector edge caused by the packet always satisfies
+// Start < cycle <= End (the clock advances before events are journaled).
+type Packet struct {
+	// Index is the packet's ordinal in the run.
+	Index int
+	// Start is the clock cycle before the packet's first sample entered.
+	Start uint64
+	// End is the clock cycle after its last sample was processed.
+	End uint64
+}
+
+// contains reports whether the cycle falls in the packet window.
+func (p Packet) contains(cycle uint64) bool { return p.Start < cycle && cycle <= p.End }
+
+// Record is one ledger row: the verdict for one packet, or for one
+// false-positive engagement (Packet == -1).
+type Record struct {
+	// Packet is the ground-truth packet index, -1 for a false-positive
+	// engagement row.
+	Packet int `json:"packet"`
+	// Class is the verdict.
+	Class Class `json:"class"`
+	// Start and End echo the packet window (or the engagement extent for
+	// FP rows), in hardware clock cycles.
+	Start uint64 `json:"start_cycle"`
+	End   uint64 `json:"end_cycle"`
+	// Eng is the matched engagement ID (0 when none — FN rows).
+	Eng uint32 `json:"eng,omitempty"`
+	// Detect is the first configured-kind detector edge inside the window.
+	Detect uint64 `json:"detect_cycle,omitempty"`
+	// Fire is the trigger decision cycle (0 when the trigger never fired).
+	Fire uint64 `json:"fire_cycle,omitempty"`
+	// RFOn is the jam-TX-on cycle (0 when no jam reached RF).
+	RFOn uint64 `json:"rf_on_cycle,omitempty"`
+	// Reaction is RFOn minus the window start: how long after the packet
+	// began the jam landed.
+	Reaction uint64 `json:"reaction_cycles,omitempty"`
+	// Overlap is how many cycles of the jamming burst fell inside the
+	// packet window (0 for a fully late jam).
+	Overlap uint64 `json:"jam_overlap_cycles,omitempty"`
+}
+
+// Options configures classification.
+type Options struct {
+	// Kinds lists the detector-edge kinds that count as detections; empty
+	// means all three (xcorr, energy-high, energy-low). A characterization
+	// run that counts one detector (as CharacterizeDetection does) must
+	// pass exactly that kind for the ledger to reconcile with the counter
+	// figures.
+	Kinds []telemetry.EventKind
+}
+
+func (o Options) kindSet() map[telemetry.EventKind]bool {
+	ks := o.Kinds
+	if len(ks) == 0 {
+		ks = []telemetry.EventKind{
+			telemetry.EvXCorrEdge, telemetry.EvEnergyHighEdge, telemetry.EvEnergyLowEdge,
+		}
+	}
+	m := make(map[telemetry.EventKind]bool, len(ks))
+	for _, k := range ks {
+		m[k] = true
+	}
+	return m
+}
+
+// Summary aggregates the ledger.
+type Summary struct {
+	// Packets is the ground-truth packet count.
+	Packets int `json:"packets"`
+	// TP, FN and Late partition the packets.
+	TP   int `json:"tp"`
+	FN   int `json:"fn"`
+	Late int `json:"late"`
+	// FPEngagements counts engagements classified FP.
+	FPEngagements int `json:"fp_engagements"`
+	// FalseAlarmEdges counts configured-kind detector edges outside every
+	// packet window — the quantity the counter-based false-alarm
+	// calibration measures.
+	FalseAlarmEdges uint64 `json:"false_alarm_edges"`
+	// DetectionEdges counts configured-kind detector edges inside packet
+	// windows (the counter-based sweep's detection total).
+	DetectionEdges uint64 `json:"detection_edges"`
+	// Pd is the detection probability: (TP + Late) / Packets.
+	Pd float64 `json:"pd"`
+	// JamSuccess is TP / Packets: detected and jammed in time.
+	JamSuccess float64 `json:"jam_success"`
+	// LateFraction is Late / (TP + Late): of the detected packets, how many
+	// were jammed too late (0 when nothing was detected).
+	LateFraction float64 `json:"late_fraction"`
+}
+
+// Result is the full classification output.
+type Result struct {
+	// Records holds one row per packet (in packet order) followed by one
+	// row per false-positive engagement (in engagement order).
+	Records []Record
+	Summary Summary
+}
+
+// Classify joins ground-truth packets against the engagements reconstructed
+// from the same run's journal. Packets must be sorted by Start and
+// non-overlapping (they are clock windows of sequential receive calls, so
+// this holds by construction; Classify verifies it).
+func Classify(packets []Packet, engs []span.Engagement, opts Options) (*Result, error) {
+	for i := 1; i < len(packets); i++ {
+		if packets[i].Start < packets[i-1].End {
+			return nil, fmt.Errorf("verdict: packet windows overlap or unsorted at index %d", i)
+		}
+	}
+	kinds := opts.kindSet()
+
+	// find returns the index of the packet whose window contains the cycle.
+	find := func(cycle uint64) int {
+		i := sort.Search(len(packets), func(i int) bool { return packets[i].End >= cycle })
+		if i < len(packets) && packets[i].contains(cycle) {
+			return i
+		}
+		return -1
+	}
+
+	type match struct {
+		eng     *span.Engagement
+		detect  uint64 // first configured-kind edge in the window
+		hasEdge bool
+	}
+	matches := make([]match, len(packets))
+	var res Result
+
+	for i := range engs {
+		e := &engs[i]
+		inWindow := false
+		var engExtentStart, engExtentEnd uint64
+		hasKindEdge := false
+		for _, ev := range e.Events {
+			if !kinds[ev.Kind] {
+				continue
+			}
+			if !hasKindEdge {
+				engExtentStart = ev.Cycle
+				hasKindEdge = true
+			}
+			engExtentEnd = ev.Cycle
+			if pi := find(ev.Cycle); pi >= 0 {
+				inWindow = true
+				res.Summary.DetectionEdges++
+				m := &matches[pi]
+				if !m.hasEdge {
+					m.eng, m.detect, m.hasEdge = e, ev.Cycle, true
+				}
+			} else {
+				res.Summary.FalseAlarmEdges++
+			}
+		}
+		if hasKindEdge && !inWindow {
+			res.Summary.FPEngagements++
+			rec := Record{
+				Packet: -1, Class: FP,
+				Start: engExtentStart, End: engExtentEnd,
+				Eng: e.ID, Detect: engExtentStart,
+			}
+			if e.HasFire {
+				rec.Fire = e.Fire
+			}
+			if e.HasRF {
+				rec.RFOn = e.RFOn
+			}
+			res.Records = append(res.Records, rec)
+		}
+	}
+
+	fpRows := res.Records
+	res.Records = make([]Record, 0, len(packets)+len(fpRows))
+	res.Summary.Packets = len(packets)
+	for pi, p := range packets {
+		rec := Record{Packet: p.Index, Start: p.Start, End: p.End}
+		m := matches[pi]
+		if !m.hasEdge {
+			rec.Class = FN
+			res.Summary.FN++
+			res.Records = append(res.Records, rec)
+			continue
+		}
+		e := m.eng
+		rec.Eng, rec.Detect = e.ID, m.detect
+		if e.HasFire {
+			rec.Fire = e.Fire
+		}
+		if e.HasRF {
+			rec.RFOn = e.RFOn
+			rec.Reaction = e.RFOn - p.Start
+			if e.RFOn <= p.End {
+				// Burst ∩ window; an engagement still mid-burst at capture
+				// time jams through the window end.
+				off := e.RFOff
+				if off < e.RFOn || off > p.End {
+					off = p.End
+				}
+				rec.Overlap = off - e.RFOn
+			}
+		}
+		if e.HasRF && e.RFOn <= p.End {
+			rec.Class = TP
+			res.Summary.TP++
+		} else {
+			rec.Class = Late
+			res.Summary.Late++
+		}
+		res.Records = append(res.Records, rec)
+	}
+	res.Records = append(res.Records, fpRows...)
+
+	s := &res.Summary
+	if s.Packets > 0 {
+		s.Pd = float64(s.TP+s.Late) / float64(s.Packets)
+		s.JamSuccess = float64(s.TP) / float64(s.Packets)
+	}
+	if det := s.TP + s.Late; det > 0 {
+		s.LateFraction = float64(s.Late) / float64(det)
+	}
+	return &res, nil
+}
+
+// WriteJSONL writes the ledger as one JSON object per line: every record,
+// then a final summary line tagged {"summary": ...}.
+func (r *Result) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, rec := range r.Records {
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return enc.Encode(map[string]Summary{"summary": r.Summary})
+}

@@ -1,0 +1,172 @@
+package verdict
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/span"
+)
+
+// fixture builds three ground-truth packets and a journal where packet 0 is
+// jammed in time, packet 1 is detected but jammed after its window, packet 2
+// is missed entirely, and one noise engagement fires between packets.
+func fixture() ([]Packet, []span.Engagement) {
+	packets := []Packet{
+		{Index: 0, Start: 1000, End: 2000},
+		{Index: 1, Start: 3000, End: 4000},
+		{Index: 2, Start: 5000, End: 6000},
+	}
+	events := []telemetry.Event{
+		// Packet 0: edge at 1100, fire, RF on at 1140 — inside the window.
+		{Cycle: 1100, Kind: telemetry.EvXCorrEdge, Eng: 1},
+		{Cycle: 1100, Kind: telemetry.EvTriggerFire, Eng: 1},
+		{Cycle: 1140, Kind: telemetry.EvJamRFOn, Eng: 1},
+		{Cycle: 1900, Kind: telemetry.EvJamRFOff, Eng: 1},
+		{Cycle: 1964, Kind: telemetry.EvHoldoffRelease, Eng: 1},
+		// Noise engagement between packets: false positive.
+		{Cycle: 2500, Kind: telemetry.EvXCorrEdge, Eng: 2},
+		{Cycle: 2564, Kind: telemetry.EvHoldoffRelease, Eng: 2},
+		// Packet 1: detected at 3900 but RF only at 4500 — late.
+		{Cycle: 3900, Kind: telemetry.EvXCorrEdge, Eng: 3},
+		{Cycle: 3900, Kind: telemetry.EvTriggerFire, Eng: 3},
+		{Cycle: 4500, Kind: telemetry.EvJamRFOn, Eng: 3},
+		{Cycle: 4600, Kind: telemetry.EvJamRFOff, Eng: 3},
+		{Cycle: 4664, Kind: telemetry.EvHoldoffRelease, Eng: 3},
+		// Packet 2: no events at all — false negative.
+	}
+	return packets, span.Build(events)
+}
+
+func TestClassifyTaxonomy(t *testing.T) {
+	packets, engs := fixture()
+	res, err := Classify(packets, engs, Options{Kinds: []telemetry.EventKind{telemetry.EvXCorrEdge}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Summary
+	if s.Packets != 3 || s.TP != 1 || s.Late != 1 || s.FN != 1 || s.FPEngagements != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Pd != 2.0/3.0 {
+		t.Errorf("Pd = %v, want 2/3", s.Pd)
+	}
+	if s.JamSuccess != 1.0/3.0 {
+		t.Errorf("JamSuccess = %v, want 1/3", s.JamSuccess)
+	}
+	if s.LateFraction != 0.5 {
+		t.Errorf("LateFraction = %v, want 0.5", s.LateFraction)
+	}
+	if s.DetectionEdges != 2 || s.FalseAlarmEdges != 1 {
+		t.Errorf("edges det=%d fa=%d, want 2/1", s.DetectionEdges, s.FalseAlarmEdges)
+	}
+
+	// Per-packet rows in packet order, then FP rows.
+	if len(res.Records) != 4 {
+		t.Fatalf("got %d records, want 4", len(res.Records))
+	}
+	r0 := res.Records[0]
+	if r0.Class != TP || r0.Eng != 1 || r0.Detect != 1100 || r0.RFOn != 1140 {
+		t.Errorf("packet 0 record = %+v", r0)
+	}
+	if r0.Reaction != 140 {
+		t.Errorf("packet 0 reaction = %d, want 140", r0.Reaction)
+	}
+	if r0.Overlap != 760 { // burst 1140..1900 inside window ending 2000
+		t.Errorf("packet 0 overlap = %d, want 760", r0.Overlap)
+	}
+	if r1 := res.Records[1]; r1.Class != Late || r1.Eng != 3 || r1.Overlap != 0 {
+		t.Errorf("packet 1 record = %+v", r1)
+	}
+	if r2 := res.Records[2]; r2.Class != FN || r2.Eng != 0 {
+		t.Errorf("packet 2 record = %+v", r2)
+	}
+	if fp := res.Records[3]; fp.Class != FP || fp.Packet != -1 || fp.Eng != 2 {
+		t.Errorf("fp record = %+v", fp)
+	}
+}
+
+func TestClassifyKindFiltering(t *testing.T) {
+	// Counting only energy-high edges, the xcorr-only journal yields zero
+	// detections: all three packets are FN and no FP is recorded.
+	packets, engs := fixture()
+	res, err := Classify(packets, engs, Options{Kinds: []telemetry.EventKind{telemetry.EvEnergyHighEdge}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := res.Summary; s.FN != 3 || s.TP != 0 || s.FPEngagements != 0 || s.Pd != 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestClassifyWindowBoundaries(t *testing.T) {
+	// Containment is (Start, End]: an edge exactly at Start belongs to the
+	// previous interval, an edge exactly at End is inside.
+	packets := []Packet{{Index: 0, Start: 100, End: 200}}
+	for _, tc := range []struct {
+		cycle uint64
+		want  Class
+	}{
+		{100, FN}, // at Start: outside
+		{101, Late},
+		{200, Late}, // at End: inside
+		{201, FN},
+	} {
+		engs := span.Build([]telemetry.Event{
+			{Cycle: tc.cycle, Kind: telemetry.EvXCorrEdge, Eng: 1},
+		})
+		res, err := Classify(packets, engs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Records[0].Class != tc.want {
+			t.Errorf("edge at %d: packet class = %v, want %v", tc.cycle, res.Records[0].Class, tc.want)
+		}
+	}
+}
+
+func TestClassifyRejectsOverlap(t *testing.T) {
+	_, err := Classify([]Packet{
+		{Index: 0, Start: 100, End: 300},
+		{Index: 1, Start: 200, End: 400},
+	}, nil, Options{})
+	if err == nil {
+		t.Fatal("overlapping windows accepted")
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	packets, engs := fixture()
+	res, err := Classify(packets, engs, Options{Kinds: []telemetry.EventKind{telemetry.EvXCorrEdge}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %d not JSON: %v", len(lines), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 5 { // 3 packets + 1 FP + summary
+		t.Fatalf("got %d JSONL lines, want 5", len(lines))
+	}
+	if lines[0]["class"] != "TP" || lines[0]["packet"] != float64(0) {
+		t.Errorf("first row = %v", lines[0])
+	}
+	if _, ok := lines[4]["summary"]; !ok {
+		t.Errorf("last row is not the summary: %v", lines[4])
+	}
+	if strings.Contains(buf.String(), "Class(") {
+		t.Error("unmapped class name leaked into ledger")
+	}
+}
