@@ -9,7 +9,7 @@ ifeq ($(BENCH_BASELINE),)
 BENCH_BASELINE = BENCH_$(shell date +%Y-%m-%d).json
 endif
 
-.PHONY: ci build vet test race bench bench-smoke bench-json bench-diff bench-diff-smoke slo
+.PHONY: ci build vet test race bench bench-smoke bench-json bench-diff bench-diff-smoke slo examples-smoke cover cover-baseline chaos
 
 ## ci: the full tier-1 verify path — vet, build, tests, then the race
 ## detector over every package (the register bus, clock and telemetry
@@ -18,8 +18,10 @@ endif
 ## break under -bench are caught here. The slo target gates the paper's
 ## reaction-latency and false-alarm budgets, and bench-diff-smoke compares
 ## datapath throughput against the committed baseline in tolerant mode so
-## the whole chain fits a CI smoke budget.
-ci: vet build test race bench-smoke slo bench-diff-smoke
+## the whole chain fits a CI smoke budget. examples-smoke keeps the
+## executable documentation honest, and cover enforces the coverage
+## ratchet against COVERAGE_BASELINE.
+ci: vet build test race bench-smoke slo bench-diff-smoke examples-smoke cover
 
 build:
 	$(GO) build ./...
@@ -71,3 +73,37 @@ bench-diff-smoke:
 ## false-alarm rate, journal drops) on seeded runs; violations exit 1.
 slo:
 	$(GO) run ./cmd/experiments -run slo
+
+## chaos: run the fault-injection campaign sweep (control + every fault
+## class at severities 1..3) against the datapath invariant catalog; any
+## broken invariant, or any blemish on the zero-fault control row, exits 1.
+chaos:
+	$(GO) run ./cmd/experiments -run chaos
+
+## examples-smoke: run every example program end to end and require a clean
+## exit — the examples are executable documentation and must not rot.
+examples-smoke:
+	@set -e; for d in examples/*/; do \
+		echo "examples-smoke: $$d"; \
+		$(GO) run ./$$d >/dev/null; \
+	done
+
+## cover: the coverage ratchet. Measures statement coverage across
+## ./internal/... and fails if the total drops more than half a point below
+## the committed COVERAGE_BASELINE. When coverage genuinely improves,
+## re-record the floor: `make cover-baseline`.
+cover:
+	$(GO) test -count=1 -coverprofile=coverage.out ./internal/...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	baseline=$$(cat COVERAGE_BASELINE); \
+	echo "cover: total $$total% (baseline $$baseline%, tolerance 0.5pt)"; \
+	awk -v t=$$total -v b=$$baseline 'BEGIN { exit !(t+0.5 >= b) }' || { \
+		echo "cover: coverage regressed more than 0.5pt below the $$baseline% baseline" >&2; \
+		exit 1; \
+	}
+
+## cover-baseline: re-record the coverage floor from the current tree.
+cover-baseline:
+	$(GO) test -count=1 -coverprofile=coverage.out ./internal/...
+	@$(GO) tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }' > COVERAGE_BASELINE
+	@echo "cover-baseline: $$(cat COVERAGE_BASELINE)% recorded"

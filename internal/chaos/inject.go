@@ -1,0 +1,159 @@
+package chaos
+
+import (
+	"math/rand"
+
+	"repro/internal/fpga"
+)
+
+// RegWrite is one committed register transaction (post-fault value).
+type RegWrite struct {
+	Addr  uint8
+	Value uint32
+}
+
+type delayedWrite struct {
+	w   RegWrite
+	due int // stimulus block index at which the stalled write commits
+}
+
+// injector is the seeded fault engine of one campaign. It is single-
+// goroutine by construction (the campaign drives everything sequentially),
+// so a plain rand.Rand and plain slices suffice and determinism is free.
+type injector struct {
+	plan  Plan
+	rng   *rand.Rand
+	clock *fpga.Clock // primary core's clock, for fault cycle stamps
+
+	ledger    []Fault
+	committed []RegWrite // every write that actually reached the register file
+	delayed   []delayedWrite
+	block     int  // current stimulus block index
+	bypass    bool // true while replaying a stalled write (no re-faulting)
+}
+
+func newInjector(plan Plan, clock *fpga.Clock) *injector {
+	return &injector{
+		plan:  plan,
+		rng:   rand.New(rand.NewSource(plan.Seed)),
+		clock: clock,
+	}
+}
+
+func (in *injector) record(kind FaultKind, arg uint64) {
+	in.ledger = append(in.ledger, Fault{Cycle: in.clock.Cycle(), Kind: kind, Arg: arg})
+}
+
+func regArg(addr uint8, value uint32) uint64 {
+	return uint64(addr)<<32 | uint64(value)
+}
+
+func spanArg(offset, n int) uint64 {
+	return uint64(uint32(offset))<<32 | uint64(uint32(n))
+}
+
+// interceptor returns the fpga.WriteInterceptor that applies the plan's
+// register-bus fault classes. Every commit (faulted or clean) is appended to
+// the committed list so the campaign can mirror the *effective* write
+// sequence onto the shadow core and the readback model.
+func (in *injector) interceptor() fpga.WriteInterceptor {
+	p := in.plan
+	return func(addr uint8, value uint32) (uint32, fpga.WriteAction) {
+		if in.bypass {
+			in.committed = append(in.committed, RegWrite{addr, value})
+			return value, fpga.WriteCommit
+		}
+		if p.RegDropProb > 0 && in.rng.Float64() < p.RegDropProb {
+			in.record(FaultRegDrop, regArg(addr, value))
+			return 0, fpga.WriteDrop
+		}
+		if p.RegFlipProb > 0 && in.rng.Float64() < p.RegFlipProb {
+			value ^= 1 << uint(in.rng.Intn(32))
+			in.record(FaultRegFlip, regArg(addr, value))
+		}
+		if p.RegDelayProb > 0 && in.rng.Float64() < p.RegDelayProb {
+			in.delayed = append(in.delayed, delayedWrite{
+				w:   RegWrite{addr, value},
+				due: in.block + p.RegDelayBlocks,
+			})
+			in.record(FaultRegDelay, regArg(addr, value))
+			return 0, fpga.WriteDrop // held back; commits at the due block
+		}
+		in.committed = append(in.committed, RegWrite{addr, value})
+		return value, fpga.WriteCommit
+	}
+}
+
+// dueDelayed pops the stalled writes due at or before the given block, in
+// arrival order.
+func (in *injector) dueDelayed(block int) []RegWrite {
+	var due []RegWrite
+	rest := in.delayed[:0]
+	for _, d := range in.delayed {
+		if d.due <= block {
+			due = append(due, d.w)
+		} else {
+			rest = append(rest, d)
+		}
+	}
+	in.delayed = rest
+	return due
+}
+
+// mutateBlock applies the plan's stream fault classes to one stimulus block
+// in place (length may change for drop/dup) and returns the faulted block.
+// Fault cycle stamps are the primary clock at block entry plus the sample
+// offset, i.e. the cycle at which the corrupted sample hits the datapath.
+func (in *injector) mutateBlock(buf []complex128) []complex128 {
+	p := in.plan
+	base := in.clock.Cycle()
+	stamp := func(kind FaultKind, off, n int) {
+		in.ledger = append(in.ledger, Fault{
+			Cycle: base + uint64(off)*fpga.CyclesPerSample,
+			Kind:  kind,
+			Arg:   spanArg(off, n),
+		})
+	}
+	span := func(max int) (int, int) {
+		off := in.rng.Intn(len(buf))
+		n := 1 + in.rng.Intn(max)
+		if off+n > len(buf) {
+			n = len(buf) - off
+		}
+		return off, n
+	}
+
+	if p.StreamSatProb > 0 && len(buf) > 0 && in.rng.Float64() < p.StreamSatProb {
+		off, n := span(p.StreamSatLen)
+		g := complex(p.StreamSatGain, 0)
+		for i := off; i < off+n; i++ {
+			buf[i] *= g
+		}
+		stamp(FaultStreamSaturate, off, n)
+	}
+	if p.StreamDCProb > 0 && len(buf) > 0 && in.rng.Float64() < p.StreamDCProb {
+		off, n := span(p.StreamDCLen)
+		for i := off; i < off+n; i++ {
+			buf[i] = complex(p.StreamDCLevel, imag(buf[i]))
+		}
+		stamp(FaultStreamDCStick, off, n)
+	}
+	if p.StreamDropProb > 0 && len(buf) > 1 && in.rng.Float64() < p.StreamDropProb {
+		off, n := span(p.StreamDropMax)
+		if n >= len(buf) {
+			n = len(buf) - 1
+		}
+		if n > 0 {
+			buf = append(buf[:off], buf[off+n:]...)
+			stamp(FaultStreamDrop, off, n)
+		}
+	}
+	if p.StreamDupProb > 0 && len(buf) > 0 && in.rng.Float64() < p.StreamDupProb {
+		off, n := span(p.StreamDupMax)
+		dup := append([]complex128(nil), buf[off:off+n]...)
+		tail := append([]complex128(nil), buf[off+n:]...)
+		buf = append(append(buf[:off+n], dup...), tail...)
+		stamp(FaultStreamDup, off, n)
+	}
+	return buf
+}

@@ -1,0 +1,80 @@
+package chaos
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomPlan draws an arbitrary plan from the full knob space. Probabilities
+// go up to ~0.6 per opportunity — far beyond any plausible hardware — and
+// journal depths down to 16 events.
+func randomPlan(rng *rand.Rand) Plan {
+	p := Plan{Seed: rng.Int63()}
+	maybe := func(f *float64, scale float64) {
+		if rng.Intn(2) == 0 {
+			*f = rng.Float64() * scale
+		}
+	}
+	maybe(&p.RegDropProb, 0.6)
+	maybe(&p.RegFlipProb, 0.6)
+	maybe(&p.RegDelayProb, 0.6)
+	if p.RegDelayProb > 0 {
+		p.RegDelayBlocks = 1 + rng.Intn(3)
+	}
+	maybe(&p.StreamDropProb, 0.6)
+	maybe(&p.StreamDupProb, 0.6)
+	maybe(&p.StreamSatProb, 0.6)
+	maybe(&p.StreamDCProb, 0.6)
+	if rng.Intn(2) == 0 {
+		p.ClockOffsetPPM = (rng.Float64() - 0.5) * 1000
+	}
+	if rng.Intn(3) == 0 {
+		p.JournalDepth = 16 << rng.Intn(8) // 16 .. 2048
+	}
+	return p
+}
+
+// TestPropertyRandomPlans is the property-based net: no randomly generated
+// plan — any mix of fault classes at any severity — may ever produce a
+// *broken* invariant. Faults are allowed to degrade observability (no
+// triggers, wrapped journal, widened Tinit bound), never to expose a
+// datapath divergence.
+func TestPropertyRandomPlans(t *testing.T) {
+	iters := 24
+	if testing.Short() {
+		iters = 6
+	}
+	rng := rand.New(rand.NewSource(20260806))
+	for i := 0; i < iters; i++ {
+		plan := randomPlan(rng)
+		res, err := Run(Config{Plan: plan, Frames: 6})
+		if err != nil {
+			t.Fatalf("plan %d (%+v): %v", i, plan, err)
+		}
+		for _, inv := range res.Invariants {
+			if inv.Status == Broken {
+				t.Errorf("plan %d (%+v): invariant %s broken: %s", i, plan, inv.Name, inv.Detail)
+			}
+		}
+	}
+}
+
+// Random plans replay deterministically too, not just the curated sweep.
+func TestPropertyRandomPlansReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 4; i++ {
+		plan := randomPlan(rng)
+		a, err := Run(Config{Plan: plan, Frames: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(Config{Plan: plan, Frames: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.LedgerHash != b.LedgerHash || a.Samples != b.Samples {
+			t.Errorf("plan %d: replay diverged (hash %s vs %s, samples %d vs %d)",
+				i, a.LedgerHash, b.LedgerHash, a.Samples, b.Samples)
+		}
+	}
+}

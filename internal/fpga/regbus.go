@@ -29,6 +29,25 @@ var ErrBadRegister = fmt.Errorf("fpga: register address out of range")
 // control addresses to pick up configuration as soon as the host programs it.
 type RegWatcher func(addr uint8, value uint32)
 
+// WriteAction is a WriteInterceptor's disposition for one register write.
+type WriteAction uint8
+
+const (
+	// WriteCommit lets the write proceed (with the possibly rewritten value).
+	WriteCommit WriteAction = iota
+	// WriteDrop silently discards the write: the register file keeps its old
+	// value and no watcher fires, exactly as if the setting-bus transaction
+	// were lost in flight.
+	WriteDrop
+)
+
+// WriteInterceptor inspects every register write before it commits and may
+// rewrite the value or drop the transaction entirely. It models setting-bus
+// glitches (lost writes, bit errors) for fault-injection harnesses; see
+// internal/chaos. The interceptor is called outside the bus lock and must
+// not call back into the same bus unless it handles its own reentrancy.
+type WriteInterceptor func(addr uint8, value uint32) (uint32, WriteAction)
+
 // RegisterBus is the user register file plus write-latency accounting.
 // It is safe for concurrent use: the host-side application and the sample
 // clocked core may touch it from different goroutines.
@@ -38,8 +57,10 @@ type RegisterBus struct {
 	written     [NumUserRegisters]bool
 	watchers    map[uint8][]RegWatcher
 	watchersAll []RegWatcher
+	intercept   WriteInterceptor
 	writes      uint64
 	reads       uint64
+	dropped     uint64
 }
 
 // NewRegisterBus returns an empty register file.
@@ -52,12 +73,28 @@ func (b *RegisterBus) Write(addr uint8, value uint32) error {
 	if addr == 0 {
 		return fmt.Errorf("%w: register 0 is reserved by UHD", ErrBadRegister)
 	}
+	b.mu.RLock()
+	icept := b.intercept
+	b.mu.RUnlock()
+	if icept != nil {
+		v, action := icept(addr, value)
+		if action == WriteDrop {
+			b.mu.Lock()
+			b.dropped++
+			b.mu.Unlock()
+			return nil
+		}
+		value = v
+	}
 	b.mu.Lock()
 	b.regs[addr] = value
 	b.written[addr] = true
 	b.writes++
-	watchers := b.watchers[addr]
-	all := b.watchersAll
+	// Snapshot copies of the watcher lists so dispatch (outside the lock)
+	// stays safe when a watcher reentrantly registers another watcher —
+	// append may grow the shared backing arrays mid-iteration otherwise.
+	watchers := append([]RegWatcher(nil), b.watchers[addr]...)
+	all := append([]RegWatcher(nil), b.watchersAll...)
 	b.mu.Unlock()
 	for _, w := range all {
 		w(addr, value)
@@ -92,6 +129,22 @@ func (b *RegisterBus) WatchAll(w RegWatcher) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.watchersAll = append(b.watchersAll, w)
+}
+
+// Intercept installs a write interceptor (nil removes it). Only one
+// interceptor may be installed at a time; fault harnesses compose their
+// fault classes inside a single closure.
+func (b *RegisterBus) Intercept(f WriteInterceptor) {
+	b.mu.Lock()
+	b.intercept = f
+	b.mu.Unlock()
+}
+
+// DroppedWrites returns how many writes an interceptor has discarded.
+func (b *RegisterBus) DroppedWrites() uint64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.dropped
 }
 
 // WriteCount returns the total number of register writes performed.

@@ -159,6 +159,100 @@ func TestRegisterBusWatcherConcurrency(t *testing.T) {
 	}
 }
 
+// TestWatcherReentrantRegistration is the regression test for the dispatch
+// snapshot: a watcher that registers another watcher (or writes the bus)
+// from inside its callback must not corrupt the iteration in progress. The
+// newly registered watcher only observes writes that start after its
+// registration.
+func TestWatcherReentrantRegistration(t *testing.T) {
+	b := NewRegisterBus()
+	var outer, inner, all int
+	b.WatchAll(func(a uint8, v uint32) { all++ })
+	b.Watch(5, func(a uint8, v uint32) {
+		outer++
+		if outer == 1 {
+			// Reentrant registration mid-dispatch, on the same address.
+			b.Watch(5, func(a uint8, v uint32) { inner++ })
+			// Reentrant registration of a bus-wide watcher.
+			b.WatchAll(func(a uint8, v uint32) { all++ })
+			// Reentrant write to a different register from inside dispatch.
+			if err := b.Write(6, 0xAA); err != nil {
+				t.Errorf("reentrant Write: %v", err)
+			}
+		}
+	})
+
+	if err := b.Write(5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if outer != 1 || inner != 0 {
+		t.Errorf("after first write: outer=%d inner=%d, want 1, 0", outer, inner)
+	}
+	if err := b.Write(5, 2); err != nil {
+		t.Fatal(err)
+	}
+	if outer != 2 || inner != 1 {
+		t.Errorf("after second write: outer=%d inner=%d, want 2, 1", outer, inner)
+	}
+	// WatchAll log: write(5)#1 hits the original only (1), the reentrant
+	// write(6) hits both (2), write(5)#2 hits both (2) — 5 total.
+	if all != 5 {
+		t.Errorf("WatchAll firings = %d, want 5", all)
+	}
+	if got, err := b.Read(6); err != nil || got != 0xAA {
+		t.Errorf("reentrant write landed as %#x, %v", got, err)
+	}
+}
+
+func TestWriteInterceptor(t *testing.T) {
+	b := NewRegisterBus()
+	var seen []uint32
+	b.Watch(9, func(a uint8, v uint32) { seen = append(seen, v) })
+	b.Intercept(func(addr uint8, value uint32) (uint32, WriteAction) {
+		switch value {
+		case 1:
+			return 0, WriteDrop
+		case 2:
+			return value ^ 0x80, WriteCommit // injected bit error
+		}
+		return value, WriteCommit
+	})
+
+	for _, v := range []uint32{1, 2, 3} {
+		if err := b.Write(9, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, _ := b.Read(9); got != 3 {
+		t.Errorf("final value = %d, want 3", got)
+	}
+	if len(seen) != 2 || seen[0] != 2^0x80 || seen[1] != 3 {
+		t.Errorf("watchers saw %v, want [130 3]", seen)
+	}
+	if b.WriteCount() != 2 {
+		t.Errorf("WriteCount = %d, want 2 (dropped writes don't commit)", b.WriteCount())
+	}
+	if b.DroppedWrites() != 1 {
+		t.Errorf("DroppedWrites = %d, want 1", b.DroppedWrites())
+	}
+	// Reserved register 0 is rejected before interception.
+	called := false
+	b.Intercept(func(addr uint8, value uint32) (uint32, WriteAction) {
+		called = true
+		return value, WriteCommit
+	})
+	if err := b.Write(0, 1); err == nil || called {
+		t.Errorf("Write(0) err=%v intercepted=%v, want error and no interception", err, called)
+	}
+	b.Intercept(nil)
+	if err := b.Write(9, 7); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := b.Read(9); got != 7 {
+		t.Errorf("after removing interceptor, value = %d, want 7", got)
+	}
+}
+
 func TestRegisterBusConcurrency(t *testing.T) {
 	b := NewRegisterBus()
 	var wg sync.WaitGroup
