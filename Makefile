@@ -9,7 +9,13 @@ ifeq ($(BENCH_BASELINE),)
 BENCH_BASELINE = BENCH_$(shell date +%Y-%m-%d).json
 endif
 
-.PHONY: ci build vet test race bench bench-smoke bench-json bench-diff bench-diff-smoke slo examples-smoke cover cover-baseline chaos
+## STATICCHECK_VERSION: the pinned honnef.co/go/tools release `make
+## staticcheck` expects. The target runs the binary when it is on PATH and
+## prints a skip note otherwise (the CI image does not ship it and the
+## build must not fetch dependencies).
+STATICCHECK_VERSION ?= 2025.1
+
+.PHONY: ci build vet test race bench bench-smoke bench-json bench-diff bench-diff-smoke slo examples-smoke cover cover-baseline chaos staticcheck incident
 
 ## ci: the full tier-1 verify path — vet, build, tests, then the race
 ## detector over every package (the register bus, clock and telemetry
@@ -21,7 +27,17 @@ endif
 ## the whole chain fits a CI smoke budget. examples-smoke keeps the
 ## executable documentation honest, and cover enforces the coverage
 ## ratchet against COVERAGE_BASELINE.
-ci: vet build test race bench-smoke slo bench-diff-smoke examples-smoke cover
+ci: vet staticcheck build test race bench-smoke slo bench-diff-smoke examples-smoke cover
+
+## staticcheck: zero-findings lint gate, pinned to $(STATICCHECK_VERSION).
+## Skips with a note when the binary is absent (no network fetches in CI).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck: $$(staticcheck -version 2>/dev/null)"; \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck: binary not installed; skipping (pin: $(STATICCHECK_VERSION))"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -79,6 +95,13 @@ slo:
 ## broken invariant, or any blemish on the zero-fault control row, exits 1.
 chaos:
 	$(GO) run ./cmd/experiments -run chaos
+
+## incident: the flight-recorder drill (EXPERIMENTS.md E16) — replay a
+## seeded SLO breach through the breach→dump path twice and require the
+## two incident dumps to be byte-identical; the dump lands in
+## incident_dump.json.
+incident:
+	$(GO) run ./cmd/experiments -run incident
 
 ## examples-smoke: run every example program end to end and require a clean
 ## exit — the examples are executable documentation and must not rot.

@@ -13,6 +13,7 @@ import (
 	"repro/internal/host"
 	"repro/internal/iperf"
 	"repro/internal/radio"
+	"repro/internal/telemetry/profile"
 	"repro/internal/xcorr"
 )
 
@@ -48,6 +49,10 @@ type BenchReport struct {
 	// Figures carries the key detection-probability results so a performance
 	// regression that changes behaviour is caught by the same diff.
 	Figures map[string]float64 `json:"figures"`
+
+	// Profile summarizes the process's memory/GC state after the benchmark
+	// runs (older baselines without it still parse and diff cleanly).
+	Profile *profile.Summary `json:"profile,omitempty"`
 }
 
 // ExperimentTiming is one experiment's wall-clock entry.
@@ -281,6 +286,10 @@ func writeBenchJSON(path string, force bool, frames, packets int) error {
 	for _, e := range rep.Experiments {
 		fmt.Printf("  %-22s %8.0f ms\n", e.Name, e.WallClockMS)
 	}
+	sum := profile.Capture()
+	rep.Profile = &sum
+	fmt.Printf("  heap %.1f MiB live, %.1f MiB cumulative, %d GCs\n",
+		float64(sum.HeapAllocBytes)/(1<<20), float64(sum.TotalAllocBytes)/(1<<20), sum.NumGC)
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

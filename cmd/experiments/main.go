@@ -23,7 +23,7 @@ import (
 )
 
 var (
-	runFlag      = flag.String("run", "all", "experiment: all, fig5, fig6, fig7, fig8, table1, fig10, fig11, fig12, selectivity, resources, reconfig, ablations, reaction, verdict, slo, chaos")
+	runFlag      = flag.String("run", "all", "experiment: all, fig5, fig6, fig7, fig8, table1, fig10, fig11, fig12, selectivity, resources, reconfig, ablations, reaction, verdict, slo, chaos, incident")
 	fullFlag     = flag.Bool("full", false, "paper-scale statistical budgets (slow)")
 	parallelFlag = flag.Int("parallel", 0, "experiment worker fan-out (0 = GOMAXPROCS, 1 = sequential)")
 	benchJSON    = flag.String("bench-json", "", "write a machine-readable benchmark baseline to this path and exit")
@@ -33,6 +33,7 @@ var (
 	ledgerFlag   = flag.String("ledger", "", "with -run verdict: write the per-packet JSONL verdict ledger to this path")
 	chaosSeed    = flag.Int64("chaos-seed", 42, "with -run chaos: master seed of the fault-campaign sweep")
 	chaosOut     = flag.String("chaos-out", "chaos_report.jsonl", "with -run chaos: JSONL campaign report path (empty to skip)")
+	flightOut    = flag.String("flight-out", "incident_dump.json", "with -run incident: flight-recorder dump path (empty to skip)")
 )
 
 func main() {
@@ -95,6 +96,7 @@ func main() {
 	run("verdict", func() error { return runVerdict(frames/6, *ledgerFlag) })
 	run("slo", func() error { return runSLO(frames / 3) })
 	run("chaos", func() error { return runChaos(*chaosSeed, 12, *chaosOut) })
+	run("incident", func() error { return runIncident(*flightOut) })
 
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", sel)

@@ -26,14 +26,21 @@
 //
 // Flags:
 //
-//	-telemetry-addr host:port     serve Prometheus-style metrics at /metrics
-//	                              and net/http/pprof at /debug/pprof/
+//	-telemetry-addr host:port     serve Prometheus-style metrics at /metrics,
+//	                              live SSE rollups at /stream, and
+//	                              net/http/pprof at /debug/pprof/
+//	-stream-interval duration     /stream push cadence (default 1s)
 //	-trace-out file.json          dump the event journal as Chrome
 //	                              trace_event JSON at exit
+//	-flight-out file.json         arm the flight recorder; an anomaly alert
+//	                              (or shutdown) dumps the incident here
+//	-profile-dir dir              continuous CPU/heap profiling into dir
 //
-// Either flag attaches the live telemetry recorder; injected frames are
-// marked so reaction-latency histograms measure frame-start→RF-on. A
-// one-line telemetry summary prints on shutdown.
+// Any of these flags attaches the live telemetry recorder; injected frames
+// are marked so reaction-latency histograms measure frame-start→RF-on. With
+// the recorder attached, a streaming anomaly detector watches every
+// processed block and journals alerts as first-class events. A one-line
+// telemetry summary prints on shutdown.
 package main
 
 import (
@@ -54,6 +61,10 @@ import (
 	"repro"
 	"repro/internal/capture"
 	"repro/internal/dsp"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/anomaly"
+	"repro/internal/telemetry/flight"
+	"repro/internal/telemetry/profile"
 	"repro/internal/wifi"
 	"repro/internal/wifib"
 	"repro/internal/wimax"
@@ -67,13 +78,25 @@ type console struct {
 
 	rec     *capture.Recorder
 	recPath string
+
+	// Observability plane (nil unless telemetry is enabled).
+	flight  *flight.Recorder
+	det     *anomaly.Detector
+	dumped  bool
+	sampler *profile.Sampler
 }
 
 var (
 	telemetryAddr = flag.String("telemetry-addr", "",
-		"serve /metrics and /debug/pprof/ on this address (enables telemetry)")
+		"serve /metrics, /stream and /debug/pprof/ on this address (enables telemetry)")
+	streamInterval = flag.Duration("stream-interval", time.Second,
+		"push cadence of the /stream SSE rollups")
 	traceOut = flag.String("trace-out", "",
 		"write Chrome trace_event JSON here at exit (enables telemetry)")
+	flightOut = flag.String("flight-out", "",
+		"write the flight-recorder incident dump here (enables telemetry)")
+	profileDir = flag.String("profile-dir", "",
+		"capture periodic CPU/heap profiles into this directory (enables telemetry)")
 )
 
 func main() {
@@ -84,12 +107,43 @@ func main() {
 		out:  os.Stdout,
 		rate: 25_000_000,
 	}
-	if *telemetryAddr != "" || *traceOut != "" {
-		c.jam.EnableTelemetry()
+	if *telemetryAddr != "" || *traceOut != "" || *flightOut != "" || *profileDir != "" {
+		live := c.jam.EnableTelemetry()
+		// Flight recorder armed from the start; anomaly alerts (fed
+		// synchronously per processed block) trigger incident dumps.
+		c.flight = flight.New(live, flight.Options{})
+		c.flight.Arm()
+		c.det = anomaly.New(live, anomaly.Config{})
+		c.det.OnAlert = func(a anomaly.Alert) {
+			fmt.Fprintf(c.out, "anomaly: %s z=%.1f (value %.4g, baseline %.4g) at cycle %d\n",
+				a.Name, a.Score, a.Value, a.Mean, a.Cycle)
+			if *flightOut != "" && !c.dumped {
+				d := c.flight.Trigger(flight.TriggerAnomaly, a.Cycle,
+					fmt.Sprintf("anomaly on %s: z=%.1f", a.Name, a.Score))
+				if err := writeDump(*flightOut, d); err != nil {
+					fmt.Fprintf(c.out, "error: flight dump: %v\n", err)
+					return
+				}
+				c.dumped = true
+				fmt.Fprintf(c.out, "flight recorder: incident dump written to %s\n", *flightOut)
+			}
+		}
+	}
+	if *profileDir != "" {
+		c.sampler = profile.NewSampler(profile.Config{Dir: *profileDir})
+		if err := c.sampler.Start(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(c.out, "profiling: CPU/heap captures into %s\n", *profileDir)
 	}
 	if *telemetryAddr != "" {
+		live := c.jam.Telemetry()
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", c.jam.MetricsHandler())
+		mux.Handle("/stream", telemetry.StreamHandler(*streamInterval,
+			func(seq uint64) []telemetry.Rollup {
+				return []telemetry.Rollup{telemetry.RollupFrom("jamlab", seq, live)}
+			}))
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -126,10 +180,41 @@ func main() {
 	c.shutdown(*traceOut)
 }
 
+// writeDump writes one flight-recorder dump as indented JSON.
+func writeDump(path string, d *flight.Dump) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // shutdown dumps the trace file and prints the one-line telemetry summary.
 func (c *console) shutdown(tracePath string) {
+	if c.sampler != nil {
+		sum, err := c.sampler.Stop()
+		if err != nil {
+			fmt.Fprintf(c.out, "profiling error: %v\n", err)
+		}
+		fmt.Fprintf(c.out, "profiling: %d CPU + %d heap captures in %s, heap %.1f MiB live\n",
+			sum.CPUProfiles, sum.HeapProfiles, sum.Dir,
+			float64(sum.HeapAllocBytes)/(1<<20))
+	}
 	if !c.jam.TelemetryEnabled() {
 		return
+	}
+	// No anomaly fired during the session: capture a manual snapshot so
+	// -flight-out always yields a dump.
+	if *flightOut != "" && !c.dumped {
+		d := c.flight.Trigger(flight.TriggerManual, c.cycle(), "shutdown snapshot")
+		if err := writeDump(*flightOut, d); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(c.out, "flight recorder: shutdown snapshot written to %s\n", *flightOut)
 	}
 	if tracePath != "" {
 		f, err := os.Create(tracePath)
@@ -468,8 +553,12 @@ func (c *console) inject(args []string) error {
 }
 
 // process streams samples through the platform, tapping the TX output into
-// an active recording.
+// an active recording, the flight recorder's I/Q scope, and the anomaly
+// detector (fed synchronously so scripted sessions behave like live ones).
 func (c *console) process(rx dsp.Samples) (dsp.Samples, error) {
+	if c.flight != nil {
+		c.flight.RecordIQ(rx)
+	}
 	tx, err := c.jam.Process(rx)
 	if err != nil {
 		return nil, err
@@ -477,7 +566,16 @@ func (c *console) process(rx dsp.Samples) (dsp.Samples, error) {
 	if c.rec != nil {
 		c.rec.Append(tx)
 	}
+	if c.det != nil {
+		c.det.FeedSnapshot(c.cycle(), c.jam.Telemetry().Snapshot())
+	}
 	return tx, nil
+}
+
+// cycle approximates the hardware clock from the samples counter (the core
+// consumes one sample per 100 MHz cycle).
+func (c *console) cycle() uint64 {
+	return c.jam.Telemetry().Snapshot().Counters.Samples
 }
 
 // pad surrounds a waveform with quiet lead/tail and a touch of noise so the

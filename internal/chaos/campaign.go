@@ -14,6 +14,7 @@ import (
 	"repro/internal/jammer"
 	"repro/internal/radio"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/flight"
 	"repro/internal/trigger"
 	"repro/internal/verdict"
 	"repro/internal/xcorr"
@@ -41,6 +42,10 @@ type Config struct {
 	SNRdB float64
 	// FAPerSec is the correlator threshold's false-alarm target (default 0.5).
 	FAPerSec float64
+	// Flight attaches a flight recorder to the primary core: armed after
+	// register programming, fed the faulted stimulus, and triggered into a
+	// dump when any invariant degrades or breaks (Result.Flight).
+	Flight bool
 }
 
 // KindCount is one per-kind fault tally in the report, ordered by kind.
@@ -78,6 +83,10 @@ type Result struct {
 	// Faults is the full injection ledger (not serialized into the sweep
 	// report; available to tests and direct callers).
 	Faults []Fault `json:"-"`
+	// Flight is the incident dump captured when Config.Flight is set and an
+	// invariant failed to hold (nil otherwise). Like Faults it stays out of
+	// the sweep report so report bytes are unchanged.
+	Flight *flight.Dump `json:"-"`
 }
 
 // Run executes one fault campaign: a dual-core differential datapath (block
@@ -152,6 +161,14 @@ func Run(cfg Config) (*Result, error) {
 		if err := program(s); err != nil {
 			return nil, err
 		}
+	}
+
+	// The flight recorder arms after programming so histogram deltas measure
+	// only the campaign itself.
+	var fr *flight.Recorder
+	if cfg.Flight {
+		fr = flight.New(plive, flight.Options{Seed: plan.Seed})
+		fr.Arm()
 	}
 
 	// Timing faults are campaign-wide; ledger them at cycle 0.
@@ -239,6 +256,9 @@ func Run(cfg Config) (*Result, error) {
 			buf = chain.Process(buf)
 		}
 		buf = inj.mutateBlock(buf)
+		if fr != nil {
+			fr.RecordIQ(buf)
+		}
 
 		start := pclock.Cycle()
 		txP, err := r.Process(buf)
@@ -300,6 +320,19 @@ func Run(cfg Config) (*Result, error) {
 		case Broken:
 			res.Broken++
 		}
+	}
+	// Fire the flight recorder only after the checker has read both journals:
+	// the dump marker lands in the primary journal, and journaling it earlier
+	// would desynchronize the block/sample parity comparison.
+	if fr != nil && res.Held < len(res.Invariants) {
+		detail := ""
+		for _, inv := range res.Invariants {
+			if inv.Status != Held {
+				detail = fmt.Sprintf("invariant %s %s: %s", inv.Name, inv.Status, inv.Detail)
+				break
+			}
+		}
+		res.Flight = fr.Trigger(flight.TriggerChaosInvariant, pclock.Cycle(), detail)
 	}
 	return res, nil
 }

@@ -1,0 +1,92 @@
+package chaos
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/telemetry/flight"
+)
+
+// TestFlightDumpOnDegradedInvariant is the incident acceptance check: a
+// seeded campaign that degrades an invariant must produce a flight-recorder
+// dump, and the dump's JSON must be byte-identical across runs of the same
+// plan (same seed ⇒ same dump hash).
+func TestFlightDumpOnDegradedInvariant(t *testing.T) {
+	// Timing class at severity 3 shrinks the journal ring until it wraps,
+	// which degrades the journal-dependent invariants deterministically.
+	plan, err := PlanFor("timing", 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *Result {
+		res, err := Run(Config{Plan: plan, Flight: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	a := run()
+	if a.Degraded+a.Broken == 0 {
+		t.Fatalf("plan did not degrade any invariant: held=%d degraded=%d broken=%d",
+			a.Held, a.Degraded, a.Broken)
+	}
+	if a.Flight == nil {
+		t.Fatal("no flight dump despite non-held invariants")
+	}
+	if a.Flight.Trigger != flight.TriggerChaosInvariant {
+		t.Errorf("trigger = %v, want chaos-invariant", a.Flight.Trigger)
+	}
+	if a.Flight.Detail == "" {
+		t.Error("dump detail empty, want the offending invariant named")
+	}
+	if a.Flight.Seed != plan.Seed {
+		t.Errorf("dump seed = %d, want %d", a.Flight.Seed, plan.Seed)
+	}
+	if !a.Flight.Armed {
+		t.Error("dump not marked armed")
+	}
+	if len(a.Flight.IQ) == 0 {
+		t.Error("dump carries no I/Q scope snapshot")
+	}
+
+	b := run()
+	if b.Flight == nil {
+		t.Fatal("second run produced no flight dump")
+	}
+	ab, err := a.Flight.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := b.Flight.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Fatalf("same seed produced different dump bytes (%d vs %d bytes)", len(ab), len(bb))
+	}
+	ha, _ := a.Flight.Hash()
+	hb, _ := b.Flight.Hash()
+	if ha != hb {
+		t.Fatalf("same seed produced different dump hashes: %s vs %s", ha, hb)
+	}
+}
+
+// TestFlightQuietWhenHeld asserts a control campaign with the recorder
+// attached captures nothing: no dump, no journal marker.
+func TestFlightQuietWhenHeld(t *testing.T) {
+	plan, err := PlanFor("regbus", 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Plan: plan, Flight: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded+res.Broken != 0 {
+		t.Fatalf("control campaign not clean: %+v", res.Invariants)
+	}
+	if res.Flight != nil {
+		t.Error("control campaign produced a flight dump")
+	}
+}

@@ -32,6 +32,8 @@ func (l *Live) WriteMetrics(w io.Writer) error {
 		{"journal_events", uint64(s.Events)},
 		{"journal_dropped_total", s.Dropped},
 		{"engagements_total", s.Engagements},
+		{"anomaly_alerts_total", l.EventCount(EvAnomalyAlert)},
+		{"flight_dumps_total", l.EventCount(EvFlightDump)},
 	}
 	for _, c := range counters {
 		if _, err := fmt.Fprintf(w, "# TYPE %s%s counter\n%s%s %d\n",

@@ -147,3 +147,125 @@ func TestWriteTree(t *testing.T) {
 		}
 	}
 }
+
+// wrappedJournal streams two full engagements through a Live recorder whose
+// ring is too small to hold both, so the first engagement's opening edges
+// (detector edge, trigger fire, RF-on) fall off the ring mid-engagement and
+// only its tail survives.
+func wrappedJournal(t *testing.T, depth int) *telemetry.Live {
+	t.Helper()
+	live := telemetry.NewLive(depth)
+	feed := []telemetry.Event{
+		{Cycle: 100, Kind: telemetry.EvEnergyHighEdge, Eng: 1},
+		{Cycle: 128, Kind: telemetry.EvTriggerFire, Eng: 1},
+		{Cycle: 168, Kind: telemetry.EvJamRFOn, Eng: 1},
+		{Cycle: 10168, Kind: telemetry.EvJamRFOff, Eng: 1},
+		{Cycle: 10232, Kind: telemetry.EvHoldoffRelease, Eng: 1},
+		{Cycle: 20000, Kind: telemetry.EvEnergyHighEdge, Eng: 2},
+		{Cycle: 20028, Kind: telemetry.EvTriggerFire, Eng: 2},
+		{Cycle: 20068, Kind: telemetry.EvJamRFOn, Eng: 2},
+		{Cycle: 30068, Kind: telemetry.EvJamRFOff, Eng: 2},
+		{Cycle: 30132, Kind: telemetry.EvHoldoffRelease, Eng: 2},
+	}
+	for _, ev := range feed {
+		live.Event(ev.Kind, ev.Cycle, ev.Arg, ev.Eng)
+	}
+	if live.Dropped() == 0 {
+		t.Fatalf("depth %d did not wrap the ring", depth)
+	}
+	return live
+}
+
+// assertSane walks a span tree rejecting negative intervals and children
+// escaping their parent — the degradation contract for truncated inputs.
+func assertSane(t *testing.T, s Span) {
+	t.Helper()
+	if s.End < s.Start {
+		t.Errorf("negative span %s [%d,%d]", s.Name, s.Start, s.End)
+	}
+	for _, c := range s.Children {
+		if c.Start < s.Start || c.End > s.End {
+			t.Errorf("child %s [%d,%d] escapes parent %s [%d,%d]",
+				c.Name, c.Start, c.End, s.Name, s.Start, s.End)
+		}
+		assertSane(t, c)
+	}
+}
+
+func TestBuildAfterRingWrapMidEngagement(t *testing.T) {
+	// Depth 7: engagement 1 loses its edge, fire, and RF-on events; its
+	// RF-off and holdoff release survive alongside all of engagement 2.
+	live := wrappedJournal(t, 7)
+	engs := Build(live.Events())
+	if len(engs) != 2 {
+		t.Fatalf("got %d engagements, want 2", len(engs))
+	}
+
+	e1 := engs[0]
+	if e1.ID != 1 {
+		t.Fatalf("first engagement id = %d", e1.ID)
+	}
+	// The dropped RF-on must not be fabricated: no fire, no RF, no burst,
+	// no reaction figure — the orphaned RF-off cannot mis-pair.
+	if e1.HasFire || e1.HasRF {
+		t.Errorf("truncated engagement claims fire/rf: %+v", e1)
+	}
+	if _, ok := e1.BurstCycles(); ok {
+		t.Error("burst derived from an orphaned RF-off")
+	}
+	if _, ok := e1.ReactionCycles(); ok {
+		t.Error("reaction derived without an RF-on")
+	}
+	// The surviving close edge still closes it, anchored at the first
+	// surviving event rather than the lost opening edge.
+	if !e1.Complete || e1.Release != 10232 {
+		t.Errorf("release = %d complete=%v", e1.Release, e1.Complete)
+	}
+	if e1.FirstEdge != 10168 {
+		t.Errorf("first edge = %d, want 10168 (first surviving event)", e1.FirstEdge)
+	}
+	for _, ev := range e1.Events {
+		if ev.Eng != 1 {
+			t.Errorf("engagement 1 absorbed foreign event %+v", ev)
+		}
+	}
+	assertSane(t, e1.Tree())
+
+	// Engagement 2 survived intact and pairs exactly as without the wrap.
+	e2 := engs[1]
+	if !e2.HasRF || e2.RFOn != 20068 || e2.RFOff != 30068 {
+		t.Errorf("eng2 rf = %d/%d", e2.RFOn, e2.RFOff)
+	}
+	if b, ok := e2.BurstCycles(); !ok || b != 10000 {
+		t.Errorf("eng2 burst = %d (%v), want 10000", b, ok)
+	}
+	if !e2.Complete || e2.Release != 30132 {
+		t.Errorf("eng2 release = %d complete=%v", e2.Release, e2.Complete)
+	}
+	assertSane(t, e2.Tree())
+}
+
+func TestBuildAfterDeepWrap(t *testing.T) {
+	// Depth 6: engagement 1 is reduced to its holdoff release alone — a
+	// zero-width engagement, still rendered without panic or negative spans.
+	live := wrappedJournal(t, 6)
+	engs := Build(live.Events())
+	if len(engs) != 2 {
+		t.Fatalf("got %d engagements, want 2", len(engs))
+	}
+	e1 := engs[0]
+	if len(e1.Events) != 1 || !e1.Complete {
+		t.Fatalf("eng1 = %+v, want single surviving release event", e1)
+	}
+	if e1.FirstEdge != e1.Release {
+		t.Errorf("zero-width engagement spans [%d,%d]", e1.FirstEdge, e1.Release)
+	}
+	assertSane(t, e1.Tree())
+	var buf bytes.Buffer
+	if err := WriteTree(&buf, &e1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "engagement-1 @10232 +0 cyc") {
+		t.Errorf("tree rendering:\n%s", buf.String())
+	}
+}

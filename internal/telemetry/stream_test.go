@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestStreamHandlerPushesRollups is the host-side consumer check: an SSE
+// client must receive several rollup updates carrying counter and alert
+// figures at the configured cadence.
+func TestStreamHandlerPushesRollups(t *testing.T) {
+	live := NewLive(256)
+	c := &Counters{}
+	live.BindCounters(c)
+	c.Samples.Store(12345)
+	c.JamTriggers.Store(3)
+	live.Event(EvJamRFOn, 100, 0, 1)
+	live.Event(EvJamRFOff, 1100, 0, 1)
+	live.Event(EvAnomalyAlert, 1200, 0, 0)
+	live.Event(EvFlightDump, 1300, 0, 0)
+
+	srv := httptest.NewServer(StreamHandler(5*time.Millisecond, func(seq uint64) []Rollup {
+		// Two cells per tick: the live cell and a synthetic second cell, so
+		// the per-cell fan-out is exercised.
+		return []Rollup{
+			RollupFrom("cell0", seq, live),
+			{Seq: seq, Cell: "cell1"},
+		}
+	}))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	// Consume at least 3 updates of cell0 (and the interleaved cell1 rows).
+	sc := bufio.NewScanner(resp.Body)
+	var cell0 []Rollup
+	var sawEventLine bool
+	deadline := time.After(5 * time.Second)
+	for len(cell0) < 3 {
+		select {
+		case <-deadline:
+			t.Fatalf("timed out after %d rollups", len(cell0))
+		default:
+		}
+		if !sc.Scan() {
+			t.Fatalf("stream ended after %d rollups: %v", len(cell0), sc.Err())
+		}
+		line := sc.Text()
+		switch {
+		case line == "event: rollup":
+			sawEventLine = true
+		case strings.HasPrefix(line, "data: "):
+			var r Rollup
+			if err := json.Unmarshal([]byte(line[len("data: "):]), &r); err != nil {
+				t.Fatalf("bad rollup body %q: %v", line, err)
+			}
+			if r.Cell == "cell0" {
+				cell0 = append(cell0, r)
+			}
+		}
+	}
+	if !sawEventLine {
+		t.Error("no 'event: rollup' framing line seen")
+	}
+
+	for i, r := range cell0 {
+		if r.Counters.Samples != 12345 || r.Counters.JamTriggers != 3 {
+			t.Errorf("rollup %d counters = %+v", i, r.Counters)
+		}
+		if r.Alerts != 1 || r.Dumps != 1 {
+			t.Errorf("rollup %d alerts/dumps = %d/%d, want 1/1", i, r.Alerts, r.Dumps)
+		}
+		found := false
+		for _, h := range r.Histograms {
+			if h.Name == HistJamBurst && h.Count == 1 && h.Max >= 1000 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("rollup %d lacks the jam-burst histogram figures", i)
+		}
+	}
+	// Seq advances across ticks.
+	if cell0[0].Seq == cell0[2].Seq {
+		t.Errorf("seq did not advance: %d .. %d", cell0[0].Seq, cell0[2].Seq)
+	}
+}

@@ -65,6 +65,13 @@ const (
 	// EvHostPoll records the host application polling the feedback
 	// counters. Arg: unused.
 	EvHostPoll
+	// EvAnomalyAlert records a streaming anomaly detector firing on a
+	// watched metric (internal/telemetry/anomaly).
+	// Arg: metric index<<32 | scaled robust z-score (milli-sigma).
+	EvAnomalyAlert
+	// EvFlightDump records the flight recorder capturing an incident dump
+	// (internal/telemetry/flight). Arg: the trigger kind.
+	EvFlightDump
 
 	numEventKinds
 )
@@ -101,6 +108,10 @@ func (k EventKind) String() string {
 		return "reg-write"
 	case EvHostPoll:
 		return "host-poll"
+	case EvAnomalyAlert:
+		return "anomaly-alert"
+	case EvFlightDump:
+		return "flight-dump"
 	default:
 		return "event(?)"
 	}

@@ -33,6 +33,8 @@ const (
 	tidRegBus      = 5
 	tidHost        = 6
 	tidEngagements = 7
+	tidAnomaly     = 8
+	tidFlight      = 9
 )
 
 // tidNames is ordered by tid so the exported metadata is deterministic
@@ -48,6 +50,8 @@ var tidNames = [...]struct {
 	{tidRegBus, "register-bus"},
 	{tidHost, "host"},
 	{tidEngagements, "engagements"},
+	{tidAnomaly, "anomaly"},
+	{tidFlight, "flight-recorder"},
 }
 
 func cyclesToUS(c uint64) float64 { return float64(c) / 100 }
@@ -143,6 +147,12 @@ func appendTraceEvents(out []traceEvent, events []Event) []traceEvent {
 			})
 		case EvHostPoll:
 			instant(e, tidHost, nil)
+		case EvAnomalyAlert:
+			instant(e, tidAnomaly, map[string]any{
+				"metric": e.Arg >> 32, "milli_z": e.Arg & 0xFFFFFFFF,
+			})
+		case EvFlightDump:
+			instant(e, tidFlight, map[string]any{"trigger": e.Arg})
 		}
 	}
 	// A burst still in flight at export time gets a zero-length marker so

@@ -29,6 +29,10 @@ func goldenJournal(l *Live) {
 	l.Event(EvHostPoll, 2000, 0, 0)
 	l.Event(EvEnergyHighEdge, 3000, 0, 2)
 	l.Event(EvHoldoffRelease, 3064, 0, 2)
+	// Observability-plane events: a streaming anomaly alert (metric 0,
+	// z = 4.2 sigma) arming the flight recorder, and the resulting dump.
+	l.Event(EvAnomalyAlert, 3500, uint64(0)<<32|4200, 0)
+	l.Event(EvFlightDump, 3600, 2, 0)
 }
 
 // TestWriteTraceGolden locks the Chrome trace export byte-for-byte: the
@@ -96,6 +100,7 @@ func TestTraceSchema(t *testing.T) {
 
 	named := map[int]bool{}
 	engagementSlices := 0
+	anomalyInstants, flightInstants := 0, 0
 	for _, e := range doc.TraceEvents {
 		if e.PID != 1 {
 			t.Errorf("%s: pid = %d, want 1", e.Name, e.PID)
@@ -108,6 +113,21 @@ func TestTraceSchema(t *testing.T) {
 		case "i":
 			if e.S == "" {
 				t.Errorf("instant %s lacks a scope", e.Name)
+			}
+			switch e.Name {
+			case "anomaly-alert":
+				anomalyInstants++
+				if _, ok := e.Args["metric"].(float64); !ok {
+					t.Errorf("anomaly-alert instant lacks metric arg: %v", e.Args)
+				}
+				if _, ok := e.Args["milli_z"].(float64); !ok {
+					t.Errorf("anomaly-alert instant lacks milli_z arg: %v", e.Args)
+				}
+			case "flight-dump":
+				flightInstants++
+				if _, ok := e.Args["trigger"].(float64); !ok {
+					t.Errorf("flight-dump instant lacks trigger arg: %v", e.Args)
+				}
 			}
 		case "X":
 			if e.Dur == nil || *e.Dur < 0 {
@@ -130,5 +150,8 @@ func TestTraceSchema(t *testing.T) {
 	}
 	if engagementSlices != 2 {
 		t.Errorf("engagement slices = %d, want 2", engagementSlices)
+	}
+	if anomalyInstants != 1 || flightInstants != 1 {
+		t.Errorf("anomaly/flight instants = %d/%d, want 1/1", anomalyInstants, flightInstants)
 	}
 }
