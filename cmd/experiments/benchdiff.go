@@ -19,18 +19,25 @@ import (
 //     with a 0.35 ratio floor and no figure re-runs, sized so the check
 //     fits a CI smoke budget and loaded machines cannot fail it spuriously
 //     while a genuine order-of-magnitude datapath regression still trips.
+//
+// Both modes additionally gate the fresh block-over-scalar ratio: the fused
+// block datapath must never lose to the per-sample path, so core_block /
+// core_per_sample of the FRESH measurement (not the baseline) must stay at
+// or above blockFloor — 1.0 in full mode, 0.9 tolerant to absorb the short
+// window's noise.
 type benchDiffMode struct {
 	window     time.Duration
 	ratioFloor float64
+	blockFloor float64
 	figures    bool
 	label      string
 }
 
 func benchDiffModeFor(tolerant bool) benchDiffMode {
 	if tolerant {
-		return benchDiffMode{window: 40 * time.Millisecond, ratioFloor: 0.35, figures: false, label: "tolerant"}
+		return benchDiffMode{window: 40 * time.Millisecond, ratioFloor: 0.35, blockFloor: 0.9, figures: false, label: "tolerant"}
 	}
-	return benchDiffMode{window: 300 * time.Millisecond, ratioFloor: 0.60, figures: true, label: "full"}
+	return benchDiffMode{window: 300 * time.Millisecond, ratioFloor: 0.60, blockFloor: 1.0, figures: true, label: "full"}
 }
 
 // runBenchDiff measures the current tree and diffs it against the baseline.
@@ -76,8 +83,22 @@ func runBenchDiff(baselinePath string, tolerant bool, frames, packets int) error
 	}
 	check("core_per_sample", base.ThroughputMsps.CorePerSample, fresh.ThroughputMsps.CorePerSample)
 	check("core_block", base.ThroughputMsps.CoreBlock, fresh.ThroughputMsps.CoreBlock)
+	check("core_block_parallel", base.ThroughputMsps.CoreBlockParallel, fresh.ThroughputMsps.CoreBlockParallel)
 	check("xcorr_packed", base.ThroughputMsps.XCorrPacked, fresh.ThroughputMsps.XCorrPacked)
 	check("xcorr_reference", base.ThroughputMsps.XCorrReference, fresh.ThroughputMsps.XCorrReference)
+
+	// Block-over-scalar gate on the fresh measurement: the block datapath
+	// losing to the scalar path is a regression regardless of the baseline.
+	if bos := fresh.ThroughputMsps.BlockOverScalar; bos > 0 {
+		status := "ok  "
+		if bos < mode.blockFloor {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("  %s %-22s block %.2f / scalar %.2f = %.2fx  (floor %.2fx)\n",
+			status, "block_over_scalar", fresh.ThroughputMsps.CoreBlock,
+			fresh.ThroughputMsps.CorePerSample, bos, mode.blockFloor)
+	}
 
 	if mode.figures && len(base.Figures) > 0 {
 		fmt.Printf("  re-running experiments for figure comparison (%d frames, %d packets)...\n",

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -36,11 +37,21 @@ type BenchReport struct {
 	// millions of samples per second. The real hardware runs at 25 MSPS; any
 	// figure above 25 means the model is faster than real time.
 	ThroughputMsps struct {
-		CorePerSample  float64 `json:"core_per_sample"`
-		CoreBlock      float64 `json:"core_block"`
-		XCorrPacked    float64 `json:"xcorr_packed"`
-		XCorrReference float64 `json:"xcorr_reference"`
-		PackedOverRef  float64 `json:"packed_over_reference"`
+		CorePerSample float64 `json:"core_per_sample"`
+		CoreBlock     float64 `json:"core_block"`
+		// CoreBlockParallel is the aggregate rate of GOMAXPROCS independent
+		// cores each running the block path — the multi-channel deployment
+		// shape. BlockWorkers records how many goroutines contributed
+		// (older baselines without these fields diff cleanly).
+		CoreBlockParallel float64 `json:"core_block_parallel,omitempty"`
+		BlockWorkers      int     `json:"block_workers,omitempty"`
+		XCorrPacked       float64 `json:"xcorr_packed"`
+		XCorrReference    float64 `json:"xcorr_reference"`
+		PackedOverRef     float64 `json:"packed_over_reference"`
+		// BlockOverScalar is CoreBlock / CorePerSample: the fused block
+		// datapath must never lose to the scalar path, so bench-diff gates
+		// on this ratio staying >= 1.
+		BlockOverScalar float64 `json:"block_over_scalar,omitempty"`
 	} `json:"throughput_msps"`
 
 	// Experiments lists wall-clock per experiment at the report's budgets.
@@ -121,6 +132,37 @@ func throughputSection(rep *BenchReport, window time.Duration) error {
 	tx := make([]complex128, len(buf))
 	rep.ThroughputMsps.CoreBlock = measureThroughput(len(buf), window, func() {
 		c.ProcessBlock(buf, tx)
+	})
+
+	if rep.ThroughputMsps.CorePerSample > 0 {
+		rep.ThroughputMsps.BlockOverScalar =
+			rep.ThroughputMsps.CoreBlock / rep.ThroughputMsps.CorePerSample
+	}
+
+	// Parallel block throughput: one independent core per GOMAXPROCS worker,
+	// all running the block path at once, summed.
+	workers := runtime.GOMAXPROCS(0)
+	cores := make([]*core.Core, workers)
+	for i := range cores {
+		if cores[i], err = benchCore(); err != nil {
+			return err
+		}
+	}
+	txs := make([][]complex128, workers)
+	for i := range txs {
+		txs[i] = make([]complex128, len(buf))
+	}
+	rep.ThroughputMsps.BlockWorkers = workers
+	rep.ThroughputMsps.CoreBlockParallel = measureThroughput(len(buf)*workers, window, func() {
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for i := 0; i < workers; i++ {
+			go func(i int) {
+				defer wg.Done()
+				cores[i].ProcessBlock(buf, txs[i])
+			}(i)
+		}
+		wg.Wait()
 	})
 
 	// Kernel-only comparison: the packed popcount correlator against the
@@ -275,7 +317,10 @@ func writeBenchJSON(path string, force bool, frames, packets int) error {
 		return err
 	}
 	fmt.Printf("  core per-sample %6.2f Msamples/s\n", rep.ThroughputMsps.CorePerSample)
-	fmt.Printf("  core block      %6.2f Msamples/s\n", rep.ThroughputMsps.CoreBlock)
+	fmt.Printf("  core block      %6.2f Msamples/s (%.2fx over per-sample)\n",
+		rep.ThroughputMsps.CoreBlock, rep.ThroughputMsps.BlockOverScalar)
+	fmt.Printf("  core block x%-2d  %6.2f Msamples/s aggregate\n",
+		rep.ThroughputMsps.BlockWorkers, rep.ThroughputMsps.CoreBlockParallel)
 	fmt.Printf("  xcorr packed    %6.2f Msamples/s (%.1fx over scalar reference)\n",
 		rep.ThroughputMsps.XCorrPacked, rep.ThroughputMsps.PackedOverRef)
 	fmt.Printf("running experiments (%d frames, %d packets, parallelism %d)...\n",

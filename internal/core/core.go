@@ -14,6 +14,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"time"
 
 	"repro/internal/energy"
@@ -298,7 +299,15 @@ func (c *Core) ProcessSample(rx complex128) (tx complex128) {
 // caller owns clock advancement and the Samples/JamSamples counters.
 func (c *Core) step(q fixed.IQ, enHigh, enLow bool) complex128 {
 	_, xcLevel := c.xc.Process(q)
+	return c.stepLevels(q, xcLevel, enHigh, enLow)
+}
 
+// stepLevels runs one sample tick from precomputed detector comparator
+// levels: edge detection, trigger fusion, the jamming controller and
+// engagement bookkeeping. The block datapath calls it directly for samples
+// inside detection/engagement windows, where the correlator and energy
+// levels already came out of the block kernels.
+func (c *Core) stepLevels(q fixed.IQ, xcLevel, enHigh, enLow bool) complex128 {
 	in := trigger.Inputs{
 		XCorr:      c.edgeX.Process(xcLevel),
 		EnergyHigh: c.edgeH.Process(enHigh),
@@ -359,44 +368,82 @@ func (c *Core) step(q fixed.IQ, enHigh, enLow bool) complex128 {
 	return tx
 }
 
-// blockScratch holds the reusable block-mode staging buffers.
+// blockScratch holds the reusable block-mode staging buffers: the SoA I/Q
+// planes, the packed sign-bit words, the detector level bitmaps, and the
+// pooled ProcessBuffer output.
 type blockScratch struct {
-	iq     []fixed.IQ
-	enHigh []bool
-	enLow  []bool
+	iPlane []int16
+	qPlane []int16
+	signI  []uint64
+	signQ  []uint64
+	lvlX   []uint64 // xcorr trigger-level bitmap
+	lvlH   []uint64 // energy-high level bitmap
+	lvlL   []uint64 // energy-low level bitmap
+	lvlAny []uint64 // OR of the three, for the quiet-span scan
+	tx     []complex128
 }
 
 func (s *blockScratch) grow(n int) {
-	if cap(s.iq) < n {
-		s.iq = make([]fixed.IQ, n)
-		s.enHigh = make([]bool, n)
-		s.enLow = make([]bool, n)
+	w := (n + 63) / 64
+	if cap(s.iPlane) < n {
+		s.iPlane = make([]int16, n)
+		s.qPlane = make([]int16, n)
 	}
-	s.iq = s.iq[:n]
-	s.enHigh = s.enHigh[:n]
-	s.enLow = s.enLow[:n]
+	if cap(s.signI) < w {
+		s.signI = make([]uint64, w)
+		s.signQ = make([]uint64, w)
+		s.lvlX = make([]uint64, w)
+		s.lvlH = make([]uint64, w)
+		s.lvlL = make([]uint64, w)
+		s.lvlAny = make([]uint64, w)
+	}
+	s.iPlane = s.iPlane[:n]
+	s.qPlane = s.qPlane[:n]
+	s.signI = s.signI[:w]
+	s.signQ = s.signQ[:w]
+	s.lvlX = s.lvlX[:w]
+	s.lvlH = s.lvlH[:w]
+	s.lvlL = s.lvlL[:w]
+	s.lvlAny = s.lvlAny[:w]
 }
 
 // ProcessBlock is the block-mode fast path: it runs a whole receive slice
 // through the datapath, writing the transmit output into tx (which must be
 // at least len(rx) long). The results — transmit samples, counters, trigger
 // decisions and detector state — are bit-identical to calling ProcessSample
-// once per sample; the speedup comes from amortizing the per-sample
-// overheads over the slice: quantization runs as its own pass, the energy
-// differentiator runs in block mode, and the Samples/JamSamples counter
-// updates are batched to one atomic add per block.
+// once per sample.
 //
-// With the default no-op recorder the hardware clock is also advanced once
-// per block instead of once per sample (nothing can observe mid-block
-// cycle stamps when events are discarded). With a live recorder attached
-// the clock advances per sample so journaled events keep cycle-accurate
-// timestamps.
+// The pipeline is fused and structure-of-arrays: one sweep quantizes the
+// input into separate int16 I/Q planes and packs the sign bits 64 per word
+// (fixed.QuantizeFused); the energy differentiator and the packed
+// correlator then turn those planes into per-sample trigger-level bitmaps. The trigger/jammer state machine
+// runs batched over the bitmaps: spans with no detector level anywhere —
+// the overwhelming majority of airtime — are handled in bulk (edge-detector
+// holdoffs and trigger windows burn down arithmetically, idle replay
+// capture and jam-burst fill run as tight loops, transmit silence is a
+// memclr), and the datapath only drops to cycle-accurate scalar stepping
+// for samples inside detection and engagement windows.
+//
+// With the default no-op recorder the hardware clock is advanced once per
+// block (nothing can observe mid-block cycle stamps when events are
+// discarded). With a live recorder attached the clock advances per quiet
+// span and per scalar sample, so every journaled event keeps the exact
+// cycle stamp the per-sample path would give it; while an engagement is
+// open the whole path stays scalar so holdoff-release timing is preserved.
 func (c *Core) ProcessBlock(rx []complex128, tx []complex128) {
+	c.ProcessBlockScaled(rx, tx, 1)
+}
+
+// ProcessBlockScaled is ProcessBlock with an RX amplitude gain folded into
+// the quantization sweep, bit-identical to scaling every input sample by
+// complex(scale, 0) first. The radio front end uses it to apply its RX gain
+// without an extra pass over the data.
+func (c *Core) ProcessBlockScaled(rx []complex128, tx []complex128, scale float64) {
 	n := len(rx)
 	if n == 0 {
 		return
 	}
-	_ = tx[:n]
+	tx = tx[:n]
 	c.counters.Samples.Add(uint64(n))
 	nop := !c.live
 	if nop {
@@ -404,32 +451,96 @@ func (c *Core) ProcessBlock(rx []complex128, tx []complex128) {
 	}
 
 	c.scratch.grow(n)
-	iq := c.scratch.iq
-	for i, s := range rx {
-		iq[i] = fixed.Quantize(s)
+	sc := &c.scratch
+	fixed.QuantizeFused(rx, scale, sc.iPlane, sc.qPlane, sc.signI, sc.signQ)
+	c.en.ProcessBits(sc.iPlane, sc.qPlane, sc.lvlH, sc.lvlL)
+	c.xc.ProcessPacked(sc.signI, sc.signQ, n, sc.lvlX)
+	for w, x := range sc.lvlX {
+		sc.lvlAny[w] = x | sc.lvlH[w] | sc.lvlL[w]
 	}
-	c.en.ProcessBlock(iq, c.scratch.enHigh, c.scratch.enLow)
 
 	var jamSamples uint64
-	for i := 0; i < n; i++ {
+	for i := 0; i < n; {
+		if c.bulkEligible() {
+			if j := nextLevelBit(sc.lvlAny, i, n); j > i {
+				span := uint64(j - i)
+				if !nop {
+					c.clock.AdvanceSamples(span)
+				}
+				c.edgeX.AdvanceQuiet(span)
+				c.edgeH.AdvanceQuiet(span)
+				c.edgeL.AdvanceQuiet(span)
+				if c.fusion != FusionAny {
+					c.sm.AdvanceQuiet(span)
+				}
+				jamSamples += c.jam.ProcessQuietSpan(sc.iPlane[i:j], sc.qPlane[i:j], tx[i:j])
+				i = j
+				continue
+			}
+		}
 		if !nop {
 			c.clock.AdvanceSamples(1)
 		}
-		out := c.step(iq[i], c.scratch.enHigh[i], c.scratch.enLow[i])
+		w, b := i>>6, uint(i&63)
+		out := c.stepLevels(
+			fixed.IQ{I: sc.iPlane[i], Q: sc.qPlane[i]},
+			sc.lvlX[w]>>b&1 != 0,
+			sc.lvlH[w]>>b&1 != 0,
+			sc.lvlL[w]>>b&1 != 0)
 		if out != 0 {
 			jamSamples++
 		}
 		tx[i] = out
+		i++
 	}
 	if jamSamples > 0 {
 		c.counters.JamSamples.Add(jamSamples)
 	}
 }
 
+// bulkEligible reports whether the datapath may batch a detector-quiet span
+// right now. With the no-op recorder every quiet span batches: the batched
+// state updates are bit-identical and no observer exists for mid-span
+// timing. With a live recorder attached, batching is only safe while
+// nothing that journals cycle-stamped events can fire mid-span: the jammer
+// must be idle (phase transitions carry stamps), no engagement may be open
+// (the holdoff-release countdown is per-sample), and no trigger window may
+// be armed (its expiry journals an abandon transition).
+func (c *Core) bulkEligible() bool {
+	if !c.live {
+		return true
+	}
+	return c.curEng == 0 &&
+		c.jam.Phase() == jammer.PhaseIdle &&
+		(c.fusion == FusionAny || !c.sm.Armed())
+}
+
+// nextLevelBit returns the index of the first sample at or after `from`
+// whose bit is set in the level bitmap, or n when the rest of the block is
+// quiet. Bits above n-1 in the last word are zero by construction.
+func nextLevelBit(words []uint64, from, n int) int {
+	w := from >> 6
+	if m := words[w] >> uint(from&63); m != 0 {
+		return from + bits.TrailingZeros64(m)
+	}
+	for w++; w < len(words); w++ {
+		if m := words[w]; m != 0 {
+			return w<<6 + bits.TrailingZeros64(m)
+		}
+	}
+	return n
+}
+
 // ProcessBuffer runs a whole receive buffer through the core, returning the
-// transmit buffer of equal length.
+// transmit buffer of equal length. The returned slice is pooled: it stays
+// valid until the next ProcessBuffer call on this core, which reuses the
+// same backing array. Callers that need the output to outlive the next
+// block must copy it (the flowgraph sinks already do).
 func (c *Core) ProcessBuffer(rx []complex128) []complex128 {
-	tx := make([]complex128, len(rx))
+	if cap(c.scratch.tx) < len(rx) {
+		c.scratch.tx = make([]complex128, len(rx))
+	}
+	tx := c.scratch.tx[:len(rx)]
 	c.ProcessBlock(rx, tx)
 	return tx
 }

@@ -75,13 +75,23 @@ func FuzzProcessBlock(f *testing.F) {
 		fuzzProgram(t, blockCore)
 		fuzzProgram(t, sampleCore)
 
-		// Chop the stream into pseudo-random block sizes derived from the
-		// fuzzed seed (LCG), covering 1-sample blocks through ~97.
+		// Chop the stream into block sizes derived from the fuzzed seed:
+		// seeds below 0x8000 select pseudo-random sizes (LCG, 1..97) and
+		// seeds at or above it pin a fixed size 1..512, so the corpus can
+		// target exact sign-word boundaries (1, 63, 64, 65) and block edges
+		// that split an engagement.
 		txB := make([]complex128, len(samples))
+		fixedBS := 0
+		if sizeSeed >= 0x8000 {
+			fixedBS = 1 + int(sizeSeed-0x8000)%512
+		}
 		lcg := uint32(sizeSeed) | 1
 		for pos := 0; pos < len(samples); {
 			lcg = lcg*1664525 + 1013904223
-			bs := 1 + int(lcg>>16)%97
+			bs := fixedBS
+			if bs == 0 {
+				bs = 1 + int(lcg>>16)%97
+			}
 			if pos+bs > len(samples) {
 				bs = len(samples) - pos
 			}

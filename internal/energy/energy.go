@@ -203,6 +203,80 @@ func (d *Differentiator) ProcessBlock(in []fixed.IQ, high, low []bool) {
 	}
 }
 
+// ProcessBits is the SoA block entry point: it consumes the separate int16
+// I/Q planes fixed.QuantizeFused writes, computes each sample's energy
+// reading x[n] = I²+Q² in place (two int16 loads beat a 64-bit energy plane
+// round-tripping through the cache), and packs the high/low trigger-level
+// decisions into bitmaps — bit k of high[w]/low[w] ⟺ sample w·64+k fired.
+// Unused bits of the last words are cleared, so a zero word means "64 quiet
+// samples" and the block datapath can skip them wholesale. Decisions and
+// end-of-block state are bit-identical to calling Process once per sample.
+func (d *Differentiator) ProcessBits(iPlane, qPlane []int16, high, low []uint64) {
+	n := len(iPlane)
+	if n == 0 {
+		return
+	}
+	_ = qPlane[:n]
+	words := (n + 63) >> 6
+	_ = high[:words]
+	_ = low[:words]
+	hiOn, loOn := d.highEnabled, d.lowEnabled
+	hiQ, loQ := d.highQ16, d.lowQ16
+	// Running state lives in registers for the whole block; only the two
+	// ring buffers are touched through the receiver. Both ring lengths are
+	// powers of two, so the wrap is a mask instead of a compare-and-reset.
+	sum, wpos, spos, seen := d.sum, d.wpos, d.spos, d.seen
+	for base, w := 0, 0; base < n; base, w = base+64, w+1 {
+		count := n - base
+		if count > 64 {
+			count = 64
+		}
+		var hw, lw uint64
+		k := 0
+		// Cold loop: the comparison pipeline is still filling; no sample in
+		// this region can produce a trigger level.
+		for ; k < count && seen < WindowLength+CompareDelay; k++ {
+			vi, vq := int64(iPlane[base+k]), int64(qPlane[base+k])
+			e := uint64(vi*vi + vq*vq)
+			sum += e - d.window[wpos]
+			d.window[wpos] = e
+			wpos = (wpos + 1) & (WindowLength - 1)
+			d.sums[spos] = sum
+			spos = (spos + 1) & (CompareDelay - 1)
+			seen++
+		}
+		// Hot loop: warm pipeline, no fill check, mask-wrapped rings.
+		for ; k < count; k++ {
+			vi, vq := int64(iPlane[base+k]), int64(qPlane[base+k])
+			e := uint64(vi*vi + vq*vq)
+			sum += e - d.window[wpos]
+			d.window[wpos] = e
+			wpos = (wpos + 1) & (WindowLength - 1)
+			delayed := d.sums[spos]
+			d.sums[spos] = sum
+			spos = (spos + 1) & (CompareDelay - 1)
+
+			ref := delayed
+			if ref < noiseFloorSum {
+				ref = noiseFloorSum
+			}
+			cur := sum
+			if cur < noiseFloorSum {
+				cur = noiseFloorSum
+			}
+			if hiOn && cur<<16 > ref*hiQ {
+				hw |= 1 << k
+			}
+			if loOn && ref<<16 > cur*loQ {
+				lw |= 1 << k
+			}
+		}
+		high[w] = hw
+		low[w] = lw
+	}
+	d.sum, d.wpos, d.spos, d.seen = sum, wpos, spos, seen
+}
+
 // Sum returns the current 32-sample energy sum (for host feedback/debug).
 func (d *Differentiator) Sum() uint64 { return d.sum }
 

@@ -39,6 +39,75 @@ func QuantizeBuffer(x []complex128) []IQ {
 	return out
 }
 
+// QuantizeFused is the single-sweep block quantizer of the SoA datapath: it
+// converts src into separate I and Q int16 planes and packs the I/Q sign
+// bits 64 per uint64 word (bit k of word w ⟺ sample w·64+k is negative, the
+// 1-bit MSB slice of the cross-correlator). scale is an RX amplitude gain
+// applied before quantization, bit-identical to multiplying each sample by
+// complex(scale, 0) first; pass 1 for none.
+//
+// iPlane and qPlane must be at least len(src) long; signI and signQ must
+// hold at least ⌈len(src)/64⌉ words. Unused bits of the last sign word are
+// left zero. The fusion exists so the block datapath touches the input
+// exactly once: every downstream kernel (energy differentiator, packed
+// correlator, replay capture) reads the planes this sweep produces.
+func QuantizeFused(src []complex128, scale float64, iPlane, qPlane []int16, signI, signQ []uint64) {
+	n := len(src)
+	if n == 0 {
+		return
+	}
+	_ = iPlane[:n]
+	_ = qPlane[:n]
+	words := (n + 63) / 64
+	_ = signI[:words]
+	_ = signQ[:words]
+	g := complex(scale, 0)
+	scaled := scale != 1
+	for base, w := 0, 0; base < n; base, w = base+64, w+1 {
+		count := n - base
+		if count > 64 {
+			count = 64
+		}
+		var sI, sQ uint64
+		for k := 0; k < count; k++ {
+			v := src[base+k]
+			if scaled {
+				v *= g
+			}
+			// Round-half-away-from-zero spelled out without math.Round: for
+			// 0.5 ≤ |r| < 32767.5 the truncation of r ± 0.5 is exact (the
+			// addition cannot round across an integer boundary there), for
+			// |r| < 0.5 the result is 0 — which also catches ±(0.5 − 2⁻⁵⁴),
+			// the one double where fl(r+0.5) rounds up to 1 — and the rare
+			// saturation zone falls back to the scalar sat16. Bit-identical
+			// to Quantize for every input, including NaN and ±Inf.
+			ri := real(v) * FullScale
+			rq := imag(v) * FullScale
+			var i16, q16 int16
+			if ai := math.Abs(ri); ai >= 0.5 {
+				if ai < 32767.5 {
+					i16 = int16(ri + math.Copysign(0.5, ri))
+				} else {
+					i16 = sat16(ri)
+				}
+			}
+			if aq := math.Abs(rq); aq >= 0.5 {
+				if aq < 32767.5 {
+					q16 = int16(rq + math.Copysign(0.5, rq))
+				} else {
+					q16 = sat16(rq)
+				}
+			}
+			iPlane[base+k] = i16
+			qPlane[base+k] = q16
+			sI |= uint64(uint16(i16)) >> 15 << k
+			sQ |= uint64(uint16(q16)) >> 15 << k
+		}
+		signI[w] = sI
+		signQ[w] = sQ
+	}
+}
+
 // Complex converts the sample back to floating point in ±1.0 range.
 func (s IQ) Complex() complex128 {
 	return complex(float64(s.I)/FullScale, float64(s.Q)/FullScale)

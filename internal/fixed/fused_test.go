@@ -1,0 +1,146 @@
+package fixed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Differential tests for the fused block quantizer: QuantizeFused must
+// produce I/Q planes and packed sign words bit-identical to Quantize +
+// SignBit per sample, for every input the scalar path accepts — including
+// the rounding boundaries its branch-reduced round is built around, scale
+// folding, and non-finite values.
+
+func checkFused(t *testing.T, src []complex128, scale float64) {
+	t.Helper()
+	n := len(src)
+	iPlane := make([]int16, n)
+	qPlane := make([]int16, n)
+	words := (n + 63) / 64
+	signI := make([]uint64, words)
+	signQ := make([]uint64, words)
+	QuantizeFused(src, scale, iPlane, qPlane, signI, signQ)
+
+	for k, v := range src {
+		// scale 1 must skip the multiply entirely, like the per-sample path
+		// (a complex multiply by 1+0i is not a no-op for NaN rails).
+		want := Quantize(v)
+		if scale != 1 {
+			want = Quantize(v * complex(scale, 0))
+		}
+		if iPlane[k] != want.I || qPlane[k] != want.Q {
+			t.Fatalf("scale %v: sample %d (%v): fused (%d,%d) != Quantize (%d,%d)",
+				scale, k, v, iPlane[k], qPlane[k], want.I, want.Q)
+		}
+		wantSI := want.I < 0
+		wantSQ := want.Q < 0
+		if gotSI := signI[k/64]>>(k%64)&1 != 0; gotSI != wantSI {
+			t.Fatalf("scale %v: sample %d: sign-I bit %v != %v", scale, k, gotSI, wantSI)
+		}
+		if gotSQ := signQ[k/64]>>(k%64)&1 != 0; gotSQ != wantSQ {
+			t.Fatalf("scale %v: sample %d: sign-Q bit %v != %v", scale, k, gotSQ, wantSQ)
+		}
+	}
+	// Bits beyond n-1 in the last words must be zero (the block datapath's
+	// quiet-span scan relies on it).
+	if n%64 != 0 {
+		mask := ^uint64(0) << (n % 64)
+		if signI[words-1]&mask != 0 || signQ[words-1]&mask != 0 {
+			t.Fatalf("unused bits of last sign words not zero: %x %x",
+				signI[words-1]&mask, signQ[words-1]&mask)
+		}
+	}
+}
+
+// roundEdgeValues are the inputs the branch-reduced round must get exactly
+// right: half-LSB boundaries on both sides of zero, the largest double below
+// 0.5 (whose +0.5 sum rounds up to 1.0 in floating point), the saturation
+// zone edges, and non-finite rails.
+func roundEdgeValues() []float64 {
+	nearHalf := math.Nextafter(0.5, 0) // 0.49999999999999994
+	vals := []float64{
+		0, math.Copysign(0, -1),
+		0.5 / FullScale, -0.5 / FullScale,
+		nearHalf / FullScale, -nearHalf / FullScale,
+		math.Nextafter(0.5/FullScale, 0), math.Nextafter(0.5/FullScale, 1),
+		1, -1, 0.9999999, -0.9999999,
+		32767.5 / FullScale, -32767.5 / FullScale,
+		32768.5 / FullScale, -32768.5 / FullScale,
+		math.Nextafter(32767.5/FullScale, 0), math.Nextafter(32768.5/FullScale, -2),
+		2, -2, 1e300, -1e300, 1e-300, -1e-300,
+		math.Inf(1), math.Inf(-1),
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+	}
+	// Every representable int16 code boundary ±ulp around a few codes.
+	for _, code := range []float64{1, 2, 3, 100, 16383, 16384, 32766, 32767} {
+		x := (code - 0.5) / FullScale
+		vals = append(vals, x, math.Nextafter(x, 0), math.Nextafter(x, 2), -x)
+	}
+	return vals
+}
+
+func TestQuantizeFusedRoundingEdges(t *testing.T) {
+	edges := roundEdgeValues()
+	src := make([]complex128, 0, len(edges)*len(edges)/4+len(edges))
+	for i := 0; i < len(edges); i++ {
+		src = append(src, complex(edges[i], edges[len(edges)-1-i]))
+	}
+	for _, e := range edges {
+		src = append(src, complex(e, -e))
+	}
+	checkFused(t, src, 1)
+}
+
+func TestQuantizeFusedScaleFolding(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xF05E))
+	src := make([]complex128, 333)
+	for k := range src {
+		src[k] = complex(rng.NormFloat64()*0.4, rng.NormFloat64()*0.4)
+	}
+	for _, scale := range []float64{1, 0.5, 2.0, 0.001, 31.62277, 1e-300} {
+		checkFused(t, src, scale)
+	}
+}
+
+func TestQuantizeFusedRandomFullRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xFA57))
+	src := make([]complex128, 1025) // odd length: partial last word
+	for k := range src {
+		// Mix magnitudes across the dynamic range, sprinkling exact
+		// half-codes and saturating values.
+		switch k % 5 {
+		case 0:
+			src[k] = complex(float64(rng.Intn(1<<16)-32768)/32768, float64(rng.Intn(1<<16)-32768)/32768)
+		case 1:
+			src[k] = complex(rng.NormFloat64()*3, rng.NormFloat64()*3)
+		case 2:
+			src[k] = complex((float64(rng.Intn(65536))-32767.5)/FullScale, 0)
+		case 3:
+			src[k] = complex(rng.NormFloat64()*1e-4, rng.NormFloat64()*1e-4)
+		default:
+			src[k] = complex(rng.NormFloat64()*40000, rng.NormFloat64()*40000)
+		}
+	}
+	checkFused(t, src, 1)
+}
+
+func TestQuantizeFusedNaN(t *testing.T) {
+	nan := math.NaN()
+	src := []complex128{
+		complex(nan, 0), complex(0, nan), complex(nan, nan),
+		complex(nan, 1), complex(-1, nan),
+	}
+	checkFused(t, src, 1)
+}
+
+func TestQuantizeFusedBlockLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x1E45))
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		src := make([]complex128, n)
+		for k := range src {
+			src[k] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		checkFused(t, src, 1)
+	}
+}

@@ -292,6 +292,111 @@ func (c *Controller) Process(rx fixed.IQ, trigger bool) complex128 {
 	}
 }
 
+// ProcessQuietSpan advances the controller through len(tx) sample ticks
+// that carry no trigger, bit-identically to calling Process(rx, false) once
+// per tick. The receive samples arrive as the SoA int16 planes the block
+// datapath stages (iPlane/qPlane must be at least len(tx) long); tx receives
+// the transmit output. It returns the number of nonzero transmit samples
+// emitted, which is what the core's JamSamples counter accumulates.
+//
+// The whole point is bulk handling of the overwhelmingly common phases: an
+// idle span only refreshes the replay capture ring (at most ReplayDepth
+// sample conversions no matter how long the span is, since earlier writes
+// would be overwritten anyway), delay/init countdowns are consumed in one
+// subtraction, and an active burst runs the waveform generator in a tight
+// loop. Phase-transition callbacks fire exactly as they would per sample.
+func (c *Controller) ProcessQuietSpan(iPlane, qPlane []int16, tx []complex128) (jamSamples uint64) {
+	n := len(tx)
+	_ = iPlane[:n]
+	_ = qPlane[:n]
+	i := 0
+	for i < n {
+		switch c.st {
+		case PhaseIdle:
+			// With no trigger arriving, idle absorbs the rest of the span:
+			// capture the tail into the replay ring and emit silence.
+			c.captureSpan(iPlane[i:n], qPlane[i:n])
+			clear(tx[i:n])
+			return jamSamples
+		case PhaseDelay, PhaseInit:
+			span := uint64(n - i)
+			if c.remaining < span {
+				span = c.remaining
+			}
+			m := int(span)
+			// The replay capture keeps running until RF turns on.
+			c.captureSpan(iPlane[i:i+m], qPlane[i:i+m])
+			clear(tx[i : i+m])
+			c.remaining -= span
+			i += m
+			if c.remaining == 0 {
+				if c.st == PhaseDelay {
+					c.toPhase(PhaseInit)
+					c.remaining = InitSamples
+				} else {
+					// Enter jamming silently; the observer fires with the
+					// first emitted sample, exactly like Process.
+					c.st = PhaseJamming
+					c.rfPending = true
+					c.remaining = c.uptime
+					c.playPos = 0
+					c.hostPos = 0
+				}
+			}
+		case PhaseJamming:
+			if c.rfPending {
+				c.rfPending = false
+				if c.onPhase != nil {
+					c.onPhase(PhaseInit, PhaseJamming)
+				}
+			}
+			span := uint64(n - i)
+			if c.remaining < span {
+				span = c.remaining
+			}
+			m := int(span)
+			for k := 0; k < m; k++ {
+				out := c.waveformSample()
+				if out != 0 {
+					jamSamples++
+				}
+				tx[i+k] = out
+			}
+			c.txCount += span
+			c.remaining -= span
+			i += m
+			if c.remaining == 0 {
+				c.toPhase(PhaseIdle)
+			}
+		}
+	}
+	return jamSamples
+}
+
+// captureSpan feeds m quiet receive samples into the replay ring with the
+// same final state m individual captures would leave: only the last
+// ReplayDepth samples of the span can survive, so earlier ones just advance
+// the write position without converting or storing anything.
+func (c *Controller) captureSpan(iPlane, qPlane []int16) {
+	m := len(iPlane)
+	if m == 0 {
+		return
+	}
+	start := 0
+	if m > ReplayDepth {
+		start = m - ReplayDepth
+		c.replayPos = (c.replayPos + start) % ReplayDepth
+	}
+	for k := start; k < m; k++ {
+		c.replay[c.replayPos] = fixed.IQ{I: iPlane[k], Q: qPlane[k]}.Complex()
+		c.replayPos = (c.replayPos + 1) % ReplayDepth
+	}
+	c.replayLen += m
+	if c.replayLen > ReplayDepth {
+		c.replayLen = ReplayDepth
+	}
+}
+
 func (c *Controller) waveformSample() complex128 {
 	g := complex(c.gain, 0)
 	switch c.waveform {

@@ -41,8 +41,6 @@ type N210 struct {
 	ddc      *dsp.Resampler // source-rate → 25 MSPS, when needed
 	sourceHz int
 
-	scaled dsp.Samples // reusable RX gain-scaling buffer
-
 	started bool
 }
 
@@ -162,18 +160,11 @@ func (r *N210) Process(rx dsp.Samples) (dsp.Samples, error) {
 	}
 	rxGain := dsp.AmplitudeFromDB(r.rxGainDB)
 	txGain := dsp.AmplitudeFromDB(r.txGainDB)
-	if rxGain != 1 {
-		if cap(r.scaled) < len(in) {
-			r.scaled = make(dsp.Samples, len(in))
-		}
-		r.scaled = r.scaled[:len(in)]
-		for i, s := range in {
-			r.scaled[i] = s * complex(rxGain, 0)
-		}
-		in = r.scaled
-	}
 	out := make(dsp.Samples, len(in))
-	r.core.ProcessBlock(in, out)
+	// The RX gain folds into the core's fused quantization sweep, so the
+	// scaling costs no extra pass over the block (bit-identical to scaling
+	// each sample by complex(rxGain, 0) first).
+	r.core.ProcessBlockScaled(in, out, rxGain)
 	if txGain != 1 {
 		for i := range out {
 			out[i] *= complex(txGain, 0)

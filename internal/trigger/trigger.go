@@ -170,6 +170,31 @@ func (sm *StateMachine) Process(in Inputs) bool {
 	return false
 }
 
+// Armed reports whether a partial sequence is in progress (stage ≥ 1 and
+// the completion window ticking). The block datapath uses it to decide
+// whether a quiet span can be batched without losing cycle-accurate
+// abandon events.
+func (sm *StateMachine) Armed() bool { return sm.armed }
+
+// AdvanceQuiet advances the state machine by n samples that carry no
+// detector events, bit-identically to n Process calls with zero Inputs:
+// an armed window keeps ticking and, if it expires inside the span, the
+// partial sequence is abandoned (one transition callback, as the scalar
+// path would emit at the expiry sample). Idle machines are untouched.
+func (sm *StateMachine) AdvanceQuiet(n uint64) {
+	if n == 0 || !sm.armed {
+		return
+	}
+	sm.elapsed += n
+	if sm.window > 0 && sm.elapsed > sm.window {
+		entry := sm.stage
+		sm.ResetState()
+		if sm.onTrans != nil && entry > 0 {
+			sm.onTrans(entry, 0, false)
+		}
+	}
+}
+
 func (sm *StateMachine) String() string {
 	names := make([]string, len(sm.stages))
 	for i, e := range sm.stages {
@@ -207,6 +232,21 @@ func (e *EdgeDetector) Process(level bool) bool {
 		e.quiet = e.holdoff
 	}
 	return rising
+}
+
+// AdvanceQuiet advances the edge detector by n all-false level samples,
+// bit-identically to n Process(false) calls: any holdoff countdown burns
+// down (clamping at zero) and the previous-level latch clears.
+func (e *EdgeDetector) AdvanceQuiet(n uint64) {
+	if n == 0 {
+		return
+	}
+	if e.quiet > n {
+		e.quiet -= n
+	} else {
+		e.quiet = 0
+	}
+	e.prev = false
 }
 
 // Reset clears the edge detector state.

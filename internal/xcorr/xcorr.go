@@ -196,6 +196,129 @@ func (c *Correlator) Process(s fixed.IQ) (metric uint32, trigger bool) {
 	return m, trigger
 }
 
+// ProcessPacked is the block entry point of the correlator: it consumes n
+// samples' worth of pre-packed sign bits (bit k of signI[w]/signQ[w] set ⟺
+// sample w·64+k sliced negative, the layout fixed.QuantizeFused produces)
+// and writes the per-sample trigger-level decisions into the level bitmap
+// (bit k of level[w] ⟺ sample w·64+k crossed the threshold). Unused bits of
+// the last level word are cleared.
+//
+// Instead of rotating the two uint64 sign histories once per sample, each
+// sample's 64-bit window is extracted from two adjacent packed words with a
+// pair of shifts, so the whole popcount kernel runs register-resident over
+// the block. Metric, trigger decisions and end-of-block state (sign
+// histories, warm-up fill, last metric) are bit-identical to calling
+// Process once per sample — the differential and fuzz suites pin this
+// against both the per-sample kernel and the scalar Reference.
+func (c *Correlator) ProcessPacked(signI, signQ []uint64, n int, level []uint64) {
+	if n == 0 {
+		return
+	}
+	words := (n + 63) >> 6
+	_ = signI[:words]
+	_ = signQ[:words]
+	_ = level[:words]
+	// carries hold the 64 sign bits preceding the current word: the
+	// pre-block rotating histories for word 0, then the previous packed
+	// word.
+	carryI, carryQ := c.signI, c.signQ
+	negI, negQ := c.bankI.neg, c.bankQ.neg
+	thr := c.threshold
+	// Bitplane words live in locals so the four dot products of the hot loop
+	// stay register-resident (mi/mq are the magnitude planes, bi/bq the
+	// Σ|coeff| bases).
+	mi0, mi1, mi2, bi := c.bankI.mag[0], c.bankI.mag[1], c.bankI.mag[2], c.bankI.base
+	mq0, mq1, mq2, bq := c.bankQ.mag[0], c.bankQ.mag[1], c.bankQ.mag[2], c.bankQ.base
+	var histI, histQ uint64
+	var m uint32
+	for w := 0; w < words; w++ {
+		wordI, wordQ := signI[w], signQ[w]
+		count := n - w<<6
+		if count > 64 {
+			count = 64
+		}
+		var lvl uint64
+		k := 0
+		// Cold loop: the delay line is still filling, so taps beyond the
+		// consumed history are masked out exactly like the per-sample path.
+		for ; k < count && c.warm < Length; k++ {
+			histI = wordI<<(63-uint(k)) | carryI>>(uint(k)+1)
+			histQ = wordQ<<(63-uint(k)) | carryQ>>(uint(k)+1)
+			c.warm++
+			c.valid = c.valid>>1 | 1<<63
+			v := c.valid
+			sumII := c.bankI.dotMasked(histI^negI, v)
+			sumQQ := c.bankQ.dotMasked(histQ^negQ, v)
+			sumQI := c.bankI.dotMasked(histQ^negI, v)
+			sumIQ := c.bankQ.dotMasked(histI^negQ, v)
+			re := sumII - sumQQ
+			im := sumQI + sumIQ
+			m = uint32(re*re) + uint32(im*im)
+			if c.warm == Length && m >= thr {
+				lvl |= 1 << k
+			}
+		}
+		// Hot loop: full 64-tap windows, no masking, no per-sample branches
+		// beyond the comparator itself. Template-derived banks quantize to
+		// |c| ≤ 3 and never populate the weight-4 magnitude plane, so the
+		// common case runs an 8-popcount kernel; popcount issues on a single
+		// execution port, making the plane count the loop's critical
+		// resource. Banks loaded raw over the register bus can carry −4 and
+		// take the full 12-popcount path.
+		if mi2|mq2 == 0 {
+			for ; k < count; k++ {
+				histI = wordI<<(63-uint(k)) | carryI>>(uint(k)+1)
+				histQ = wordQ<<(63-uint(k)) | carryQ>>(uint(k)+1)
+				xII := histI ^ negI
+				xQQ := histQ ^ negQ
+				xQI := histQ ^ negI
+				xIQ := histI ^ negQ
+				sumII := bi - int32(2*(bits.OnesCount64(xII&mi0)+
+					2*bits.OnesCount64(xII&mi1)))
+				sumQQ := bq - int32(2*(bits.OnesCount64(xQQ&mq0)+
+					2*bits.OnesCount64(xQQ&mq1)))
+				sumQI := bi - int32(2*(bits.OnesCount64(xQI&mi0)+
+					2*bits.OnesCount64(xQI&mi1)))
+				sumIQ := bq - int32(2*(bits.OnesCount64(xIQ&mq0)+
+					2*bits.OnesCount64(xIQ&mq1)))
+				re := sumII - sumQQ
+				im := sumQI + sumIQ
+				m = uint32(re*re) + uint32(im*im)
+				if m >= thr {
+					lvl |= 1 << k
+				}
+			}
+		} else {
+			for ; k < count; k++ {
+				histI = wordI<<(63-uint(k)) | carryI>>(uint(k)+1)
+				histQ = wordQ<<(63-uint(k)) | carryQ>>(uint(k)+1)
+				xII := histI ^ negI
+				xQQ := histQ ^ negQ
+				xQI := histQ ^ negI
+				xIQ := histI ^ negQ
+				sumII := bi - int32(2*(bits.OnesCount64(xII&mi0)+
+					2*bits.OnesCount64(xII&mi1)+4*bits.OnesCount64(xII&mi2)))
+				sumQQ := bq - int32(2*(bits.OnesCount64(xQQ&mq0)+
+					2*bits.OnesCount64(xQQ&mq1)+4*bits.OnesCount64(xQQ&mq2)))
+				sumQI := bi - int32(2*(bits.OnesCount64(xQI&mi0)+
+					2*bits.OnesCount64(xQI&mi1)+4*bits.OnesCount64(xQI&mi2)))
+				sumIQ := bq - int32(2*(bits.OnesCount64(xIQ&mq0)+
+					2*bits.OnesCount64(xIQ&mq1)+4*bits.OnesCount64(xIQ&mq2)))
+				re := sumII - sumQQ
+				im := sumQI + sumIQ
+				m = uint32(re*re) + uint32(im*im)
+				if m >= thr {
+					lvl |= 1 << k
+				}
+			}
+		}
+		level[w] = lvl
+		carryI, carryQ = wordI, wordQ
+	}
+	c.signI, c.signQ = histI, histQ
+	c.metric = m
+}
+
 // Metric returns the most recent correlation metric.
 func (c *Correlator) Metric() uint32 { return c.metric }
 
