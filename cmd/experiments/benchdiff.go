@@ -25,19 +25,23 @@ import (
 // core_per_sample of the FRESH measurement (not the baseline) must stay at
 // or above blockFloor — 1.0 in full mode, 0.9 tolerant to absorb the short
 // window's noise.
+// Full mode also gates experiment wall clock: each experiment that exists in
+// the baseline must finish within wallCeiling times its recorded duration,
+// catching large end-to-end slowdowns the kernel throughput ratios miss.
 type benchDiffMode struct {
-	window     time.Duration
-	ratioFloor float64
-	blockFloor float64
-	figures    bool
-	label      string
+	window      time.Duration
+	ratioFloor  float64
+	blockFloor  float64
+	wallCeiling float64
+	figures     bool
+	label       string
 }
 
 func benchDiffModeFor(tolerant bool) benchDiffMode {
 	if tolerant {
 		return benchDiffMode{window: 40 * time.Millisecond, ratioFloor: 0.35, blockFloor: 0.9, figures: false, label: "tolerant"}
 	}
-	return benchDiffMode{window: 300 * time.Millisecond, ratioFloor: 0.60, blockFloor: 1.0, figures: true, label: "full"}
+	return benchDiffMode{window: 300 * time.Millisecond, ratioFloor: 0.60, blockFloor: 1.0, wallCeiling: 2.0, figures: true, label: "full"}
 }
 
 // runBenchDiff measures the current tree and diffs it against the baseline.
@@ -86,6 +90,8 @@ func runBenchDiff(baselinePath string, tolerant bool, frames, packets int) error
 	check("core_block_parallel", base.ThroughputMsps.CoreBlockParallel, fresh.ThroughputMsps.CoreBlockParallel)
 	check("xcorr_packed", base.ThroughputMsps.XCorrPacked, fresh.ThroughputMsps.XCorrPacked)
 	check("xcorr_reference", base.ThroughputMsps.XCorrReference, fresh.ThroughputMsps.XCorrReference)
+	check("wifi_tx", base.ThroughputMsps.WiFiTx, fresh.ThroughputMsps.WiFiTx)
+	check("wifi_rx", base.ThroughputMsps.WiFiRx, fresh.ThroughputMsps.WiFiRx)
 
 	// Block-over-scalar gate on the fresh measurement: the block datapath
 	// losing to the scalar path is a regression regardless of the baseline.
@@ -119,6 +125,26 @@ func runBenchDiff(baselinePath string, tolerant bool, frames, packets int) error
 			default:
 				fmt.Printf("  ok   %-28s %g\n", k, bv)
 			}
+		}
+
+		// Experiment wall-clock ceiling against the baseline's recordings.
+		baseWall := make(map[string]float64, len(base.Experiments))
+		for _, e := range base.Experiments {
+			baseWall[e.Name] = e.WallClockMS
+		}
+		for _, e := range fresh.Experiments {
+			bw := baseWall[e.Name]
+			if bw <= 0 {
+				continue
+			}
+			ratio := e.WallClockMS / bw
+			status := "ok  "
+			if ratio > mode.wallCeiling {
+				status = "FAIL"
+				failures++
+			}
+			fmt.Printf("  %s %-28s %8.0f -> %8.0f ms  (%.2fx, ceiling %.2fx)\n",
+				status, e.Name+" wall", bw, e.WallClockMS, ratio, mode.wallCeiling)
 		}
 	}
 	if failures > 0 {

@@ -9,12 +9,14 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dsp"
 	"repro/internal/experiments"
 	"repro/internal/fixed"
 	"repro/internal/host"
 	"repro/internal/iperf"
 	"repro/internal/radio"
 	"repro/internal/telemetry/profile"
+	"repro/internal/wifi"
 	"repro/internal/xcorr"
 )
 
@@ -52,6 +54,12 @@ type BenchReport struct {
 		// datapath must never lose to the scalar path, so bench-diff gates
 		// on this ratio staying >= 1.
 		BlockOverScalar float64 `json:"block_over_scalar,omitempty"`
+		// WiFiTx and WiFiRx are the 802.11a/g modem batch-codec rates: one
+		// 1000-byte PSDU at 54 Mb/s modulated (TxFrame) and demodulated
+		// (RxFrame, including sync search and Viterbi decode) per call.
+		// Older baselines without them diff cleanly.
+		WiFiTx float64 `json:"wifi_tx_Msps,omitempty"`
+		WiFiRx float64 `json:"wifi_rx_Msps,omitempty"`
 	} `json:"throughput_msps"`
 
 	// Experiments lists wall-clock per experiment at the report's budgets.
@@ -194,6 +202,31 @@ func throughputSection(rep *BenchReport, window time.Duration) error {
 		rep.ThroughputMsps.PackedOverRef =
 			rep.ThroughputMsps.XCorrPacked / rep.ThroughputMsps.XCorrReference
 	}
+
+	// Modem batch codecs: one 1000-byte PSDU at 54 Mb/s per call. The RX
+	// search window brackets the long preamble start at sample 192.
+	psdu := make([]byte, 1000)
+	for i := range psdu {
+		psdu[i] = byte(i * 7)
+	}
+	cfg := wifi.TxConfig{Rate: wifi.Rate54, ScramblerSeed: 0x5D}
+	frameLen := wifi.FrameDuration(cfg.Rate, len(psdu))
+	var txc wifi.TxCodec
+	frame := make(dsp.Samples, 0, frameLen)
+	frame, err = txc.TxFrame(frame, psdu, cfg)
+	if err != nil {
+		return err
+	}
+	rep.ThroughputMsps.WiFiTx = measureThroughput(frameLen, window, func() {
+		frame, _ = txc.TxFrame(frame[:0], psdu, cfg)
+	})
+	var rxc wifi.RxCodec
+	if _, err := rxc.RxFrame(frame, 144, 240); err != nil {
+		return err
+	}
+	rep.ThroughputMsps.WiFiRx = measureThroughput(frameLen, window, func() {
+		rxc.RxFrame(frame, 144, 240) //nolint:errcheck // checked once above
+	})
 	return nil
 }
 
@@ -323,6 +356,8 @@ func writeBenchJSON(path string, force bool, frames, packets int) error {
 		rep.ThroughputMsps.BlockWorkers, rep.ThroughputMsps.CoreBlockParallel)
 	fmt.Printf("  xcorr packed    %6.2f Msamples/s (%.1fx over scalar reference)\n",
 		rep.ThroughputMsps.XCorrPacked, rep.ThroughputMsps.PackedOverRef)
+	fmt.Printf("  wifi tx frame   %6.2f Msamples/s\n", rep.ThroughputMsps.WiFiTx)
+	fmt.Printf("  wifi rx frame   %6.2f Msamples/s\n", rep.ThroughputMsps.WiFiRx)
 	fmt.Printf("running experiments (%d frames, %d packets, parallelism %d)...\n",
 		frames, packets, rep.Parallelism)
 	if err := experimentSection(rep, frames, packets); err != nil {

@@ -115,6 +115,17 @@ func IFFT(x Samples) {
 	}
 }
 
+// stageRoot returns the length-th root of unity that seeds one butterfly
+// stage's incremental twiddle recurrence. Shared between the generic kernel
+// and the FFTPlan twiddle tables so both produce identical weights.
+func stageRoot(length int, inverse bool) complex128 {
+	ang := 2 * math.Pi / float64(length)
+	if !inverse {
+		ang = -ang
+	}
+	return complex(math.Cos(ang), math.Sin(ang))
+}
+
 func fft(x Samples, inverse bool) {
 	n := len(x)
 	if !IsPow2(n) {
@@ -132,11 +143,7 @@ func fft(x Samples, inverse bool) {
 		}
 	}
 	for length := 2; length <= n; length <<= 1 {
-		ang := 2 * math.Pi / float64(length)
-		if !inverse {
-			ang = -ang
-		}
-		wl := complex(math.Cos(ang), math.Sin(ang))
+		wl := stageRoot(length, inverse)
 		for start := 0; start < n; start += length {
 			w := complex(1, 0)
 			half := length / 2

@@ -37,22 +37,51 @@ func (p Puncture) String() string {
 	}
 }
 
-// pattern returns the keep-mask over one puncturing period of the A,B
-// output stream (interleaved A0 B0 A1 B1 ...).
-func (p Puncture) pattern() []bool {
-	switch p {
-	case Punct2_3:
-		// Period 4 (2 input bits): keep A0 B0 A1, drop B1.
-		return []bool{true, true, true, false}
-	case Punct3_4:
-		// Period 6 (3 input bits): keep A0 B0 A1, drop B1, drop A2, keep B2.
-		return []bool{true, true, true, false, false, true}
-	default:
-		return []bool{true, true}
-	}
+// punctPatterns holds the keep-mask over one puncturing period of the A,B
+// output stream (interleaved A0 B0 A1 B1 ...), one shared table per rate.
+// ConvEncode and depuncture hit these on every frame; hoisting them to
+// package level removes the per-call slice allocation the old pattern()
+// paid.
+var punctPatterns = [...][]bool{
+	Punct1_2: {true, true},
+	// Period 4 (2 input bits): keep A0 B0 A1, drop B1.
+	Punct2_3: {true, true, true, false},
+	// Period 6 (3 input bits): keep A0 B0 A1, drop B1, drop A2, keep B2.
+	Punct3_4: {true, true, true, false, false, true},
 }
 
-// parity64 returns the parity of the 7 low bits of v.
+// punctKept counts the kept positions per period, precomputed alongside the
+// masks.
+var punctKept = func() [len(punctPatterns)]int {
+	var out [len(punctPatterns)]int
+	for p, mask := range punctPatterns {
+		for _, m := range mask {
+			if m {
+				out[p]++
+			}
+		}
+	}
+	return out
+}()
+
+// pattern returns the shared keep-mask for the rate. Callers must treat the
+// returned slice as read-only.
+func (p Puncture) pattern() []bool {
+	if int(p) < len(punctPatterns) {
+		return punctPatterns[p]
+	}
+	return punctPatterns[Punct1_2]
+}
+
+// kept returns the number of coded bits kept per puncturing period.
+func (p Puncture) kept() int {
+	if int(p) < len(punctKept) {
+		return punctKept[p]
+	}
+	return punctKept[Punct1_2]
+}
+
+// parity7 returns the parity of the 7 low bits of v.
 func parity7(v uint32) uint8 {
 	v &= 0x7F
 	v ^= v >> 4
@@ -65,23 +94,29 @@ func parity7(v uint32) uint8 {
 // puncturing pattern. The caller appends the 6 zero tail bits beforehand if
 // trellis termination is wanted.
 func ConvEncode(bits []uint8, p Puncture) []uint8 {
+	return convEncodeInto(make([]uint8, 0, len(bits)*2), bits, p)
+}
+
+// convEncodeInto is the allocation-free form of ConvEncode: coded bits are
+// appended to out (which the caller sizes with adequate capacity).
+func convEncodeInto(out []uint8, bits []uint8, p Puncture) []uint8 {
 	mask := p.pattern()
-	out := make([]uint8, 0, len(bits)*2)
 	var state uint32 // 6-bit shift register of previous inputs
 	pos := 0
-	emit := func(b uint8) {
-		if mask[pos] {
-			out = append(out, b)
-		}
-		pos++
-		if pos == len(mask) {
-			pos = 0
-		}
-	}
 	for _, b := range bits {
 		reg := (state << 1) | uint32(b&1)
-		emit(parity7(reg & genA))
-		emit(parity7(reg & genB))
+		if mask[pos] {
+			out = append(out, parity7(reg&genA))
+		}
+		if pos++; pos == len(mask) {
+			pos = 0
+		}
+		if mask[pos] {
+			out = append(out, parity7(reg&genB))
+		}
+		if pos++; pos == len(mask) {
+			pos = 0
+		}
 		state = reg & 0x3F
 	}
 	return out
@@ -90,12 +125,41 @@ func ConvEncode(bits []uint8, p Puncture) []uint8 {
 // viterbiTables holds the per-state branch outputs, computed once.
 var branchOut [numStates][2][2]uint8 // [state][input] -> (outA, outB)
 
+// branchPair packs each branch's (outA, outB) into a 2-bit index
+// outA<<1|outB, the key into the per-step branch-metric LUT row.
+var branchPair [numStates][2]uint8
+
+// bmLUT is the branch-metric lookup table: bmLUT[rA][rB][pair] is the
+// Hamming cost of emitting output pair `pair` when the received coded pair
+// is (rA, rB). Received values are 0, 1, erasure (2, free), or "unknown"
+// (3, every branch pays 1 — matching the reference decoder's treatment of
+// out-of-alphabet inputs, which mismatch both coded values).
+var bmLUT [4][4][4]int32
+
 func init() {
 	for s := 0; s < numStates; s++ {
 		for in := 0; in < 2; in++ {
 			reg := (uint32(s) << 1) | uint32(in)
 			branchOut[s][in][0] = parity7(reg & genA)
 			branchOut[s][in][1] = parity7(reg & genB)
+			branchPair[s][in] = branchOut[s][in][0]<<1 | branchOut[s][in][1]
+		}
+	}
+	cost := func(r int, out uint8) int32 {
+		switch {
+		case r == int(erasure):
+			return 0
+		case r == int(out):
+			return 0
+		default:
+			return 1 // 0/1 mismatch, or out-of-alphabet (always mismatches)
+		}
+	}
+	for rA := 0; rA < 4; rA++ {
+		for rB := 0; rB < 4; rB++ {
+			for pair := 0; pair < 4; pair++ {
+				bmLUT[rA][rB][pair] = cost(rA, uint8(pair>>1)) + cost(rB, uint8(pair&1))
+			}
 		}
 	}
 }
@@ -106,30 +170,28 @@ const erasure uint8 = 2
 // depuncture reinserts erasure marks at the punctured positions so the
 // Viterbi decoder can skip them in its metric.
 func depuncture(coded []uint8, p Puncture, numDataBits int) ([]uint8, error) {
+	return depunctureInto(make([]uint8, 0, numDataBits*2), coded, p, numDataBits)
+}
+
+// depunctureInto is the allocation-free form of depuncture, appending the
+// erasure-marked stream to out.
+func depunctureInto(out []uint8, coded []uint8, p Puncture, numDataBits int) ([]uint8, error) {
 	mask := p.pattern()
-	kept := 0
-	for _, m := range mask {
-		if m {
-			kept++
-		}
-	}
-	need := numDataBits * 2 * kept / len(mask)
+	need := numDataBits * 2 * p.kept() / len(mask)
 	if len(coded) < need {
 		return nil, fmt.Errorf("wifi: %d coded bits, need %d for %d data bits at rate %v",
 			len(coded), need, numDataBits, p)
 	}
-	out := make([]uint8, 0, numDataBits*2)
 	src := 0
 	pos := 0
-	for len(out) < numDataBits*2 {
+	for n := 0; n < numDataBits*2; n++ {
 		if mask[pos] {
 			out = append(out, coded[src])
 			src++
 		} else {
 			out = append(out, erasure)
 		}
-		pos++
-		if pos == len(mask) {
+		if pos++; pos == len(mask) {
 			pos = 0
 		}
 	}
@@ -140,16 +202,26 @@ func depuncture(coded []uint8, p Puncture, numDataBits int) ([]uint8, error) {
 // bits back to numDataBits data bits. The trellis starts in state 0; if the
 // encoder was tail-terminated the final state 0 is forced, otherwise the
 // best end state wins. Punctured positions are treated as erasures.
+//
+// The decode runs on the bit-packed fast path (viterbiScratch.decode) with
+// pooled metric and decision storage; the retained tracebackDecode is the
+// bit-exactness reference for the differential suite.
 func ViterbiDecode(coded []uint8, p Puncture, numDataBits int, terminated bool) ([]uint8, error) {
-	seq, err := depuncture(coded, p, numDataBits)
+	vs := viterbiPool.Get().(*viterbiScratch)
+	defer viterbiPool.Put(vs)
+	seq, err := depunctureInto(vs.seq[:0], coded, p, numDataBits)
 	if err != nil {
 		return nil, err
 	}
-	return tracebackDecode(seq, numDataBits, terminated), nil
+	vs.seq = seq
+	out := make([]uint8, numDataBits)
+	vs.decode(seq, out, terminated)
+	return out, nil
 }
 
 // tracebackDecode runs the add-compare-select recursion with explicit
-// predecessor bookkeeping per step for an unambiguous traceback.
+// predecessor bookkeeping per step for an unambiguous traceback. Retained
+// as the reference implementation the packed decoder is pinned against.
 func tracebackDecode(seq []uint8, numDataBits int, terminated bool) []uint8 {
 	const inf = int32(1) << 30
 	metric := make([]int32, numStates)

@@ -21,15 +21,14 @@ type TxConfig struct {
 	ScramblerSeed uint8
 }
 
-// signalField builds the 24 SIGNAL bits: RATE(4), reserved(1), LENGTH(12),
-// parity(1), tail(6).
-func signalField(r Rate, length int) []uint8 {
-	bits := make([]uint8, 24)
+// signalFieldInto fills the 24 SIGNAL bits: RATE(4), reserved(1),
+// LENGTH(12), parity(1), tail(6).
+func signalFieldInto(bits *[24]uint8, r Rate, length int) {
 	rb := r.SignalBits()
 	for i := 0; i < 4; i++ {
 		bits[i] = (rb >> (3 - i)) & 1 // R1-R4 transmitted MSB of table first
 	}
-	// bit 4 reserved = 0
+	bits[4] = 0 // reserved
 	for i := 0; i < 12; i++ {
 		bits[5+i] = uint8((length >> i) & 1) // LENGTH is LSB first
 	}
@@ -38,8 +37,16 @@ func signalField(r Rate, length int) []uint8 {
 		par ^= bits[i]
 	}
 	bits[17] = par
-	// bits 18..23 tail = 0
-	return bits
+	for i := 18; i < 24; i++ {
+		bits[i] = 0 // tail
+	}
+}
+
+// signalField builds the 24 SIGNAL bits.
+func signalField(r Rate, length int) []uint8 {
+	var bits [24]uint8
+	signalFieldInto(&bits, r, length)
+	return bits[:]
 }
 
 // parseSignalField inverts signalField.
@@ -68,25 +75,10 @@ func parseSignalField(bits []uint8) (r Rate, length int, err error) {
 	return r, length, nil
 }
 
-// encodeSymbolStream runs bits (already scrambled, with tail zeroed) through
-// coding, interleaving, mapping and OFDM assembly. firstSymIndex sets the
-// pilot polarity origin.
-func encodeSymbolStream(bits []uint8, r Rate, firstSymIndex int) dsp.Samples {
-	coded := ConvEncode(bits, r.Puncture())
-	cbps := r.CodedBitsPerSymbol()
-	nsym := len(coded) / cbps
-	out := make(dsp.Samples, 0, nsym*SymbolLen)
-	for s := 0; s < nsym; s++ {
-		il := Interleave(coded[s*cbps:(s+1)*cbps], r)
-		pts := MapSymbolBits(il, r)
-		out = append(out, AssembleSymbol(pts, firstSymIndex+s)...)
-	}
-	return out
-}
-
 // Modulate builds the complete PPDU baseband waveform at 20 MSPS for the
 // given PSDU. The returned buffer has unit-order average power during the
-// frame.
+// frame. The work runs on a pooled TxCodec; the returned slice is freshly
+// allocated and owned by the caller.
 func Modulate(psdu []byte, cfg TxConfig) (dsp.Samples, error) {
 	if !cfg.Rate.Valid() {
 		return nil, fmt.Errorf("wifi: invalid rate %v", cfg.Rate)
@@ -94,31 +86,10 @@ func Modulate(psdu []byte, cfg TxConfig) (dsp.Samples, error) {
 	if len(psdu) == 0 || len(psdu) > MaxPSDU {
 		return nil, fmt.Errorf("wifi: PSDU length %d outside [1, %d]", len(psdu), MaxPSDU)
 	}
-	seed := cfg.ScramblerSeed & 0x7F
-	if seed == 0 {
-		seed = 0x5D // standard example seed 1011101
-	}
-
-	out := Preamble()
-
-	// SIGNAL: BPSK rate-1/2, not scrambled, own single symbol, pilot p_0.
-	out = append(out, encodeSymbolStream(signalField(cfg.Rate, len(psdu)), Rate6, 0)...)
-
-	// DATA: SERVICE + PSDU + tail + pad, scrambled (tail bits re-zeroed
-	// after scrambling to terminate the trellis).
-	nsym := NumDataSymbols(cfg.Rate, len(psdu))
-	nbits := nsym * cfg.Rate.BitsPerSymbol()
-	bits := make([]uint8, 0, nbits)
-	bits = append(bits, make([]uint8, ServiceBits)...)
-	bits = append(bits, BytesToBits(psdu)...)
-	bits = append(bits, make([]uint8, nbits-len(bits))...) // tail + pad
-	NewScrambler(seed).Process(bits)
-	tailStart := ServiceBits + 8*len(psdu)
-	for i := 0; i < TailBits; i++ {
-		bits[tailStart+i] = 0
-	}
-	out = append(out, encodeSymbolStream(bits, cfg.Rate, 1)...)
-	return out, nil
+	c := txPool.Get().(*TxCodec)
+	defer txPool.Put(c)
+	out := make(dsp.Samples, 0, FrameDuration(cfg.Rate, len(psdu)))
+	return c.TxFrame(out, psdu, cfg)
 }
 
 // PseudoFrame builds the single-preamble test frames of §3.2: "pseudo-frames

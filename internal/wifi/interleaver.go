@@ -4,9 +4,17 @@ package wifi
 // symbol are permuted twice — the first permutation spreads adjacent coded
 // bits across non-adjacent subcarriers, the second alternates them between
 // significant and less-significant constellation bit positions.
+//
+// The two-permutation index arithmetic runs once per (rate, position) at
+// package init into per-rate permutation tables; the per-symbol hot path is
+// then a single gather/scatter over the table, which is what the batch
+// frame codecs use to (de)interleave whole symbols with no index math and
+// no allocation.
 
 // interleaveIndex maps input index k (0..cbps-1) to output index j for a
-// symbol with cbps coded bits and bpsc bits per subcarrier.
+// symbol with cbps coded bits and bpsc bits per subcarrier. Retained as the
+// closed-form reference the permutation tables are generated from (and
+// checked against in the tests).
 func interleaveIndex(k, cbps, bpsc int) int {
 	s := bpsc / 2
 	if s < 1 {
@@ -19,25 +27,50 @@ func interleaveIndex(k, cbps, bpsc int) int {
 	return j
 }
 
+// interleavePerm holds the per-rate permutation: interleavePerm[r][k] is the
+// output position of input bit k. Built once at init from interleaveIndex.
+var interleavePerm [len(rateTable)][]uint16
+
+func init() {
+	for r, info := range rateTable {
+		perm := make([]uint16, info.cbps)
+		for k := 0; k < info.cbps; k++ {
+			perm[k] = uint16(interleaveIndex(k, info.cbps, info.bpsc))
+		}
+		interleavePerm[r] = perm
+	}
+}
+
+// interleaveInto permutes one symbol's coded bits into dst; both slices must
+// hold exactly N_CBPS bits for the rate and must not alias.
+func interleaveInto(dst, src []uint8, r Rate) {
+	perm := interleavePerm[r]
+	_ = dst[len(perm)-1]
+	for k, j := range perm {
+		dst[j] = src[k]
+	}
+}
+
+// deinterleaveInto inverts interleaveInto. dst and src must not alias.
+func deinterleaveInto(dst, src []uint8, r Rate) {
+	perm := interleavePerm[r]
+	_ = dst[len(perm)-1]
+	for k, j := range perm {
+		dst[k] = src[j]
+	}
+}
+
 // Interleave permutes one symbol's worth of coded bits (len must equal
 // N_CBPS for the rate).
 func Interleave(bits []uint8, r Rate) []uint8 {
-	cbps := r.CodedBitsPerSymbol()
-	bpsc := r.BitsPerSubcarrier()
-	out := make([]uint8, cbps)
-	for k := 0; k < cbps; k++ {
-		out[interleaveIndex(k, cbps, bpsc)] = bits[k]
-	}
+	out := make([]uint8, r.CodedBitsPerSymbol())
+	interleaveInto(out, bits, r)
 	return out
 }
 
 // Deinterleave inverts Interleave.
 func Deinterleave(bits []uint8, r Rate) []uint8 {
-	cbps := r.CodedBitsPerSymbol()
-	bpsc := r.BitsPerSubcarrier()
-	out := make([]uint8, cbps)
-	for k := 0; k < cbps; k++ {
-		out[k] = bits[interleaveIndex(k, cbps, bpsc)]
-	}
+	out := make([]uint8, r.CodedBitsPerSymbol())
+	deinterleaveInto(out, bits, r)
 	return out
 }

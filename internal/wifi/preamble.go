@@ -11,6 +11,11 @@ import (
 // 64-sample long training symbols (8 µs). These are the low-entropy,
 // standard-defined portions of every frame that the jammer's
 // cross-correlator keys on.
+//
+// The waveforms are pure functions of the standard, so they are rendered
+// once at package init; the exported accessors hand out defensive copies,
+// while the modem fast paths (Sync, the batch frame codecs) read the cached
+// buffers directly.
 
 // shortSeq is the frequency-domain short training sequence S(-26..26)
 // before the sqrt(13/6) scaling; entries are (1+j) multiples.
@@ -43,6 +48,7 @@ func carrierToBin(k int) int {
 
 // ifft64 performs a 64-point IFFT of freq-domain subcarriers scaled so the
 // time-domain signal has approximately unit peak (standard IFFT scaling).
+// Init-time only; the per-symbol paths use the dsp.FFT64 plan.
 func ifft64(freq dsp.Samples) dsp.Samples {
 	buf := freq.Clone()
 	dsp.IFFT(buf)
@@ -52,9 +58,18 @@ func ifft64(freq dsp.Samples) dsp.Samples {
 	return buf
 }
 
-// ShortTrainingSymbol returns one 16-sample period of the short training
-// sequence at 20 MSPS.
-func ShortTrainingSymbol() dsp.Samples {
+// The cached preamble waveforms, rendered once. stsCached is one 16-sample
+// short training repetition, ltsCached the 64-sample long training symbol,
+// preambleCached the full 320-sample PLCP preamble. ltsConjCached holds the
+// conjugated LTS taps Sync correlates with.
+var (
+	stsCached      = renderShortTrainingSymbol()
+	ltsCached      = renderLongTrainingSymbol()
+	ltsConjCached  = renderLTSConj()
+	preambleCached = renderPreamble()
+)
+
+func renderShortTrainingSymbol() dsp.Samples {
 	freq := make(dsp.Samples, FFTSize)
 	scale := complex(math.Sqrt(13.0/6.0), 0)
 	for i, v := range shortSeq {
@@ -66,19 +81,7 @@ func ShortTrainingSymbol() dsp.Samples {
 	return full[:ShortRepLen].Clone()
 }
 
-// ShortPreamble returns the full 160-sample (8 µs) short training sequence:
-// ten repetitions of the short training symbol.
-func ShortPreamble() dsp.Samples {
-	one := ShortTrainingSymbol()
-	out := make(dsp.Samples, 0, ShortPreambleLen)
-	for i := 0; i < 10; i++ {
-		out = append(out, one...)
-	}
-	return out
-}
-
-// LongTrainingSymbol returns the 64-sample long training symbol (no guard).
-func LongTrainingSymbol() dsp.Samples {
+func renderLongTrainingSymbol() dsp.Samples {
 	freq := make(dsp.Samples, FFTSize)
 	for i, v := range longSeq {
 		k := i - 26
@@ -89,21 +92,54 @@ func LongTrainingSymbol() dsp.Samples {
 	return full
 }
 
+func renderLTSConj() dsp.Samples {
+	lts := renderLongTrainingSymbol()
+	out := make(dsp.Samples, len(lts))
+	for i, v := range lts {
+		out[i] = complex(real(v), -imag(v))
+	}
+	return out
+}
+
+func renderPreamble() dsp.Samples {
+	out := make(dsp.Samples, 0, ShortPreambleLen+LongPreambleLen)
+	sts := renderShortTrainingSymbol()
+	for i := 0; i < 10; i++ {
+		out = append(out, sts...)
+	}
+	lts := renderLongTrainingSymbol()
+	out = append(out, lts[FFTSize-2*CPLen:]...) // GI2
+	out = append(out, lts...)
+	out = append(out, lts...)
+	return out
+}
+
+// ShortTrainingSymbol returns one 16-sample period of the short training
+// sequence at 20 MSPS.
+func ShortTrainingSymbol() dsp.Samples {
+	return stsCached.Clone()
+}
+
+// ShortPreamble returns the full 160-sample (8 µs) short training sequence:
+// ten repetitions of the short training symbol.
+func ShortPreamble() dsp.Samples {
+	return preambleCached[:ShortPreambleLen].Clone()
+}
+
+// LongTrainingSymbol returns the 64-sample long training symbol (no guard).
+func LongTrainingSymbol() dsp.Samples {
+	return ltsCached.Clone()
+}
+
 // LongPreamble returns the full 160-sample long training sequence: a
 // 32-sample double guard interval followed by two long training symbols.
 func LongPreamble() dsp.Samples {
-	sym := LongTrainingSymbol()
-	out := make(dsp.Samples, 0, LongPreambleLen)
-	out = append(out, sym[FFTSize-2*CPLen:]...) // GI2
-	out = append(out, sym...)
-	out = append(out, sym...)
-	return out
+	return preambleCached[ShortPreambleLen:].Clone()
 }
 
 // Preamble returns the complete 320-sample (16 µs) PLCP preamble.
 func Preamble() dsp.Samples {
-	out := ShortPreamble()
-	return append(out, LongPreamble()...)
+	return preambleCached.Clone()
 }
 
 // LongFreqSequence exposes the frequency-domain long training values for

@@ -2,7 +2,6 @@ package wifi
 
 import (
 	"fmt"
-	"math/cmplx"
 
 	"repro/internal/dsp"
 )
@@ -12,6 +11,11 @@ import (
 // client" side of the validation experiments — a frame that decodes with a
 // valid FCS counts as received; a frame whose payload was hit by the jammer
 // fails here and triggers MAC retransmission.
+//
+// The exported entry points borrow a pooled RxCodec (see batch.go) so the
+// per-frame symbol pipeline and Viterbi decode reuse scratch instead of
+// allocating; callers that process many frames back to back can hold their
+// own RxCodec and use RxFrame directly for the fully allocation-free path.
 
 // RxResult reports one demodulated PPDU.
 type RxResult struct {
@@ -31,112 +35,23 @@ var ErrSync = fmt.Errorf("wifi: synchronization failed")
 // known LTS and requiring the characteristic double peak 64 samples apart.
 // The search examines candidate start positions in [from, to).
 func Sync(x dsp.Samples, from, to int) (int, error) {
-	lts := LongTrainingSymbol()
-	if from < 0 {
-		from = 0
-	}
-	last := len(x) - (2*FFTSize + SymbolLen) // need LTS1+LTS2+SIGNAL after
-	if to > last {
-		to = last
-	}
-	if from >= to {
-		return 0, ErrSync
-	}
-	// Correlation magnitude at every candidate offset in the window plus
-	// one LTS length (for the second peak).
-	n := to - from + FFTSize + 1
-	mags := make([]float64, n)
-	for i := 0; i < n; i++ {
-		k := from + i
-		var acc complex128
-		for j := 0; j < FFTSize; j++ {
-			acc += x[k+j] * cmplx.Conj(lts[j])
-		}
-		mags[i] = real(acc)*real(acc) + imag(acc)*imag(acc)
-	}
-	best, bestScore := -1, 0.0
-	for i := 0; i+FFTSize < n; i++ {
-		score := mags[i] + mags[i+FFTSize]
-		if score > bestScore {
-			best, bestScore = i, score
-		}
-	}
-	if best < 0 {
-		return 0, ErrSync
-	}
-	// Reject pure-noise "peaks": the LTS autocorrelation at the right lag
-	// concentrates energy; require the peak to dominate the window median.
-	var sum float64
-	for _, m := range mags {
-		sum += m
-	}
-	mean := sum / float64(len(mags))
-	if bestScore < 4*mean {
-		return 0, ErrSync
-	}
-	return from + best, nil
+	c := rxPool.Get().(*RxCodec)
+	defer rxPool.Put(c)
+	return c.sync(x, from, to)
 }
 
 // Demodulate recovers one PPDU from the waveform, searching for the long
 // preamble start in [searchFrom, searchTo). On success the PSDU has been
 // Viterbi-decoded and descrambled; FCS checking is the caller's (MAC's)
-// concern.
+// concern. The returned result is a copy the caller owns.
 func Demodulate(x dsp.Samples, searchFrom, searchTo int) (*RxResult, error) {
-	ltsStart, err := Sync(x, searchFrom, searchTo)
+	c := rxPool.Get().(*RxCodec)
+	defer rxPool.Put(c)
+	res, err := c.RxFrame(x, searchFrom, searchTo)
 	if err != nil {
 		return nil, err
 	}
-	if len(x) < ltsStart+2*FFTSize+SymbolLen {
-		return nil, fmt.Errorf("wifi: truncated frame after sync")
-	}
-	h := EstimateChannel(x[ltsStart:ltsStart+FFTSize],
-		x[ltsStart+FFTSize:ltsStart+2*FFTSize])
-
-	// SIGNAL symbol.
-	sigStart := ltsStart + 2*FFTSize
-	sigPts := DisassembleSymbol(x[sigStart:sigStart+SymbolLen], h, 0)
-	sigBits := Deinterleave(DemapSymbolPoints(sigPts, Rate6), Rate6)
-	sigDec, err := ViterbiDecode(sigBits, Punct1_2, 24, true)
-	if err != nil {
-		return nil, err
-	}
-	rate, length, err := parseSignalField(sigDec)
-	if err != nil {
-		return nil, err
-	}
-
-	// DATA symbols.
-	nsym := NumDataSymbols(rate, length)
-	dataStart := sigStart + SymbolLen
-	if len(x) < dataStart+nsym*SymbolLen {
-		return nil, fmt.Errorf("wifi: frame truncated (%d of %d data symbols)",
-			(len(x)-dataStart)/SymbolLen, nsym)
-	}
-	cbps := rate.CodedBitsPerSymbol()
-	coded := make([]uint8, 0, nsym*cbps)
-	for s := 0; s < nsym; s++ {
-		start := dataStart + s*SymbolLen
-		pts := DisassembleSymbol(x[start:start+SymbolLen], h, 1+s)
-		coded = append(coded, Deinterleave(DemapSymbolPoints(pts, rate), rate)...)
-	}
-	nbits := nsym * rate.BitsPerSymbol()
-	bits, err := ViterbiDecode(coded, rate.Puncture(), nbits, false)
-	if err != nil {
-		return nil, err
-	}
-
-	// Descramble: the first 7 bits carry the seed (SERVICE bits are zero).
-	state := RecoverSeed(bits[:7])
-	desc := NewScrambler(state)
-	desc.Process(bits[7:])
-	for i := 0; i < 7; i++ {
-		bits[i] = 0
-	}
-	psduBits := bits[ServiceBits : ServiceBits+8*length]
-	return &RxResult{
-		LTSIndex: ltsStart,
-		Rate:     rate,
-		Length:   length,
-		PSDU:     BitsToBytes(psduBits),
-	}, nil
+	out := *res
+	out.PSDU = append([]byte(nil), res.PSDU...)
+	return &out, nil
 }

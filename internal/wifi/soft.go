@@ -104,13 +104,13 @@ func DemapSymbolPointsSoft(points []complex128, r Rate) []LLR {
 	return out
 }
 
-// DeinterleaveSoft inverts the block interleaver on LLRs.
+// DeinterleaveSoft inverts the block interleaver on LLRs, gathering through
+// the same per-rate permutation tables the hard path uses.
 func DeinterleaveSoft(llrs []LLR, r Rate) []LLR {
-	cbps := r.CodedBitsPerSymbol()
-	bpsc := r.BitsPerSubcarrier()
-	out := make([]LLR, cbps)
-	for k := 0; k < cbps; k++ {
-		out[k] = llrs[interleaveIndex(k, cbps, bpsc)]
+	perm := interleavePerm[r]
+	out := make([]LLR, len(perm))
+	for k, j := range perm {
+		out[k] = llrs[j]
 	}
 	return out
 }
@@ -118,13 +118,7 @@ func DeinterleaveSoft(llrs []LLR, r Rate) []LLR {
 // depunctureSoft reinserts zero-LLR erasures at the punctured positions.
 func depunctureSoft(llrs []LLR, p Puncture, numDataBits int) ([]LLR, error) {
 	mask := p.pattern()
-	kept := 0
-	for _, m := range mask {
-		if m {
-			kept++
-		}
-	}
-	need := numDataBits * 2 * kept / len(mask)
+	need := numDataBits * 2 * p.kept() / len(mask)
 	if len(llrs) < need {
 		return nil, errShortSoft(len(llrs), need)
 	}

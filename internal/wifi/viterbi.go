@@ -1,0 +1,114 @@
+package wifi
+
+import "sync"
+
+// Bit-packed Viterbi fast path. The K=7 code has exactly 64 trellis states,
+// so one uint64 per trellis step records every add-compare-select decision:
+// bit ns set means state ns took its high predecessor (ns>>1 | 32) rather
+// than its low one (ns>>1). That replaces the reference decoder's
+// [][numStates]uint8 predecessor matrix — 64 bytes per step, allocated per
+// call — with 8 bytes per step in a pooled slice, and turns the traceback
+// into shift/mask arithmetic. Path metrics live in two pooled arrays that
+// ping-pong per step, and the per-branch Hamming cost comes from the bmLUT
+// row selected once per step by the received coded pair.
+//
+// The decode is output-bit-exact against tracebackDecode: both relax the
+// two predecessors of each next-state in the same order (low predecessor
+// first, replaced only on strictly smaller metric), so ties resolve
+// identically, and the branch costs are the same Hamming/erasure metric.
+
+// viterbiScratch holds the pooled working storage of one packed decode.
+type viterbiScratch struct {
+	metric    []int32  // numStates path metrics (current step)
+	next      []int32  // numStates path metrics (next step)
+	decisions []uint64 // one decision word per trellis step
+	seq       []uint8  // depunctured coded stream (2 per data bit)
+}
+
+var viterbiPool = sync.Pool{New: func() any {
+	return &viterbiScratch{
+		metric: make([]int32, numStates),
+		next:   make([]int32, numStates),
+	}
+}}
+
+// vitInf is the unreachable-state metric. Branch costs add at most 2 per
+// step, so reachable metrics stay far below it for any frame the 12-bit
+// LENGTH field can describe, and int32 cannot overflow.
+const vitInf = int32(1) << 29
+
+// decode runs the packed add-compare-select recursion over the
+// erasure-marked coded stream seq (len(seq) must be 2*len(out)) and writes
+// the decoded data bits to out. Allocation free once the scratch has grown
+// to the frame's step count.
+func (v *viterbiScratch) decode(seq []uint8, out []uint8, terminated bool) {
+	n := len(out)
+	if cap(v.decisions) < n {
+		v.decisions = make([]uint64, n)
+	}
+	decisions := v.decisions[:n]
+	if cap(v.metric) < numStates {
+		v.metric = make([]int32, numStates)
+		v.next = make([]int32, numStates)
+	}
+	m, nx := v.metric[:numStates], v.next[:numStates]
+	m[0] = 0
+	for s := 1; s < numStates; s++ {
+		m[s] = vitInf
+	}
+
+	for t := 0; t < n; t++ {
+		rA, rB := seq[2*t], seq[2*t+1]
+		if rA > 3 {
+			rA = 3 // out-of-alphabet: every branch mismatches (see bmLUT)
+		}
+		if rB > 3 {
+			rB = 3
+		}
+		cost := &bmLUT[rA][rB]
+		var dec uint64
+		// Butterfly over predecessor pairs: states k and k+32 are the two
+		// predecessors of both next-states 2k and 2k+1, so their metrics and
+		// branch pairs load once and serve two compare-selects. Low
+		// predecessor wins ties, matching the reference's ascending
+		// relaxation order with strict-less replacement.
+		for k := 0; k < numStates/2; k++ {
+			m0, m1 := m[k], m[k+numStates/2]
+			bp0, bp1 := branchPair[k], branchPair[k+numStates/2]
+			ns := 2 * k
+			a := m0 + cost[bp0[0]]
+			b := m1 + cost[bp1[0]]
+			if b < a {
+				nx[ns] = b
+				dec |= 1 << uint(ns)
+			} else {
+				nx[ns] = a
+			}
+			a = m0 + cost[bp0[1]]
+			b = m1 + cost[bp1[1]]
+			if b < a {
+				nx[ns+1] = b
+				dec |= 1 << uint(ns+1)
+			} else {
+				nx[ns+1] = a
+			}
+		}
+		decisions[t] = dec
+		m, nx = nx, m
+	}
+	v.metric, v.next = m, nx
+
+	best := 0
+	if !terminated {
+		for s := 1; s < numStates; s++ {
+			if m[s] < m[best] {
+				best = s
+			}
+		}
+	}
+	state := best
+	for t := n - 1; t >= 0; t-- {
+		out[t] = uint8(state & 1)
+		state = state>>1 | int(decisions[t]>>uint(state)&1)<<5
+	}
+}

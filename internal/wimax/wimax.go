@@ -82,14 +82,30 @@ func pnSequence(cellID, segment int) []float64 {
 	return seq
 }
 
+// plan1024 is the precomputed 1024-point transform every OFDMA symbol here
+// modulates through; its folded-scaling inverse is value-exact against the
+// generic dsp.IFFT the original implementation used.
+var plan1024 = dsp.NewFFTPlan(FFTSize)
+
 // PreambleSymbol generates the time-domain downlink preamble OFDMA symbol
 // (CP + 1024 samples) for the configuration.
 func PreambleSymbol(cfg Config) (dsp.Samples, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	pn := pnSequence(cfg.CellID, cfg.Segment)
+	out := make(dsp.Samples, SymbolLen)
 	freq := make(dsp.Samples, FFTSize)
+	fillPreambleSymbol(out, freq, cfg)
+	return out, nil
+}
+
+// fillPreambleSymbol renders the preamble symbol into dst (SymbolLen
+// samples) using freq (FFTSize samples) as transform scratch.
+func fillPreambleSymbol(dst, freq dsp.Samples, cfg Config) {
+	for i := range freq {
+		freq[i] = 0
+	}
+	pn := pnSequence(cfg.CellID, cfg.Segment)
 	used := FFTSize - 2*GuardBandCarriers // usable band
 	// Carrier set n occupies subcarriers guard + n + 3k within the usable
 	// band (skipping DC).
@@ -115,16 +131,14 @@ func PreambleSymbol(cfg Config) (dsp.Samples, error) {
 		freq[bin] = complex(pn[idx], 0)
 		idx++
 	}
-	t := freq
-	dsp.IFFT(t)
+	plan1024.Inverse(freq)
 	// Scale so the preamble symbol has unit-order power: occupied carriers
 	// number ~284 of 1024.
-	t.Scale(float64(FFTSize) / math.Sqrt(float64(FFTSize)))
+	freq.Scale(float64(FFTSize) / math.Sqrt(float64(FFTSize)))
 	boost := math.Sqrt(float64(FFTSize) / float64(PNLength))
-	t.Scale(boost)
-	out := make(dsp.Samples, 0, SymbolLen)
-	out = append(out, t[FFTSize-CPLen:]...)
-	return append(out, t...), nil
+	freq.Scale(boost)
+	copy(dst[:CPLen], freq[FFTSize-CPLen:])
+	copy(dst[CPLen:SymbolLen], freq)
 }
 
 // PreambleDuration is the preamble symbol duration in seconds at the
@@ -139,8 +153,7 @@ func PreambleDuration() float64 {
 // subframe plus gaps), so consecutive frames exhibit the on/off envelope an
 // energy detector keys on.
 func DownlinkFrame(cfg Config, nDataSymbols int, seed int64) (dsp.Samples, error) {
-	pre, err := PreambleSymbol(cfg)
-	if err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if nDataSymbols < 0 {
@@ -149,20 +162,26 @@ func DownlinkFrame(cfg Config, nDataSymbols int, seed int64) (dsp.Samples, error
 	if (1+nDataSymbols)*SymbolLen > FrameDurationSamples {
 		return nil, fmt.Errorf("wimax: %d symbols exceed the 5 ms frame", nDataSymbols)
 	}
-	out := make(dsp.Samples, 0, FrameDurationSamples)
-	out = append(out, pre...)
+	// The whole 5 ms frame is one zeroed allocation; every symbol renders
+	// into its window in place, sharing one transform scratch. The tail
+	// beyond the last symbol stays zero (uplink subframe plus gaps).
+	out := make(dsp.Samples, FrameDurationSamples)
+	freq := make(dsp.Samples, FFTSize)
+	fillPreambleSymbol(out[:SymbolLen], freq, cfg)
 	rng := newPCG(seed)
 	for s := 0; s < nDataSymbols; s++ {
-		out = append(out, dataSymbol(rng)...)
+		start := (1 + s) * SymbolLen
+		fillDataSymbol(out[start:start+SymbolLen], freq, rng)
 	}
-	out = append(out, make(dsp.Samples, FrameDurationSamples-len(out))...)
 	return out, nil
 }
 
-// dataSymbol builds one OFDMA payload symbol with random QPSK on the usable
-// subcarriers.
-func dataSymbol(rng *pcg) dsp.Samples {
-	freq := make(dsp.Samples, FFTSize)
+// fillDataSymbol renders one OFDMA payload symbol with random QPSK on the
+// usable subcarriers into dst, using freq as transform scratch.
+func fillDataSymbol(dst, freq dsp.Samples, rng *pcg) {
+	for i := range freq {
+		freq[i] = 0
+	}
 	const a = 0.7071067811865476
 	for off := GuardBandCarriers; off < FFTSize-GuardBandCarriers; off++ {
 		carrier := off - FFTSize/2
@@ -183,15 +202,13 @@ func dataSymbol(rng *pcg) dsp.Samples {
 		}
 		freq[bin] = complex(re, im)
 	}
-	t := freq
-	dsp.IFFT(t)
-	t.Scale(math.Sqrt(float64(FFTSize)))
+	plan1024.Inverse(freq)
+	freq.Scale(math.Sqrt(float64(FFTSize)))
 	// Normalize for occupied fraction.
 	occupied := float64(FFTSize - 2*GuardBandCarriers - 1)
-	t.Scale(math.Sqrt(float64(FFTSize) / occupied))
-	out := make(dsp.Samples, 0, SymbolLen)
-	out = append(out, t[FFTSize-CPLen:]...)
-	return append(out, t...)
+	freq.Scale(math.Sqrt(float64(FFTSize) / occupied))
+	copy(dst[:CPLen], freq[FFTSize-CPLen:])
+	copy(dst[CPLen:SymbolLen], freq)
 }
 
 // pcg is a tiny deterministic PRNG for payload generation.
