@@ -15,7 +15,7 @@ endif
 ## build must not fetch dependencies).
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: ci build vet test race bench bench-smoke bench-json bench-diff bench-diff-smoke slo examples-smoke cover cover-baseline chaos staticcheck incident
+.PHONY: ci build vet test race bench bench-smoke bench-json bench-diff bench-diff-smoke slo examples-smoke cover cover-baseline chaos staticcheck incident fleetobs fleetobs-smoke
 
 ## ci: the full tier-1 verify path — vet, build, tests, then the race
 ## detector over every package (the register bus, clock and telemetry
@@ -26,8 +26,10 @@ STATICCHECK_VERSION ?= 2025.1
 ## datapath throughput against the committed baseline in tolerant mode so
 ## the whole chain fits a CI smoke budget. examples-smoke keeps the
 ## executable documentation honest, and cover enforces the coverage
-## ratchet against COVERAGE_BASELINE.
-ci: vet staticcheck build test race bench-smoke slo bench-diff-smoke examples-smoke cover
+## ratchet against COVERAGE_BASELINE. fleetobs-smoke runs the fleet
+## telemetry drill at small scale and fails on journal drops, a
+## reconciliation mismatch, or a malformed / over-budget metrics scrape.
+ci: vet staticcheck build test race bench-smoke slo bench-diff-smoke fleetobs-smoke examples-smoke cover
 
 ## staticcheck: zero-findings lint gate, pinned to $(STATICCHECK_VERSION).
 ## Skips with a note when the binary is absent (no network fetches in CI).
@@ -95,6 +97,19 @@ slo:
 ## broken invariant, or any blemish on the zero-fault control row, exits 1.
 chaos:
 	$(GO) run ./cmd/experiments -run chaos
+
+## fleetobs: the fleet observability drill — 256 concurrent cells through
+## the sharded aggregation plane; verifies bit-for-bit reconciliation of
+## every cell against its own recorder, zero journal drops, a lint-clean
+## cardinality-bounded scrape, and writes the JSONL fleet ledger
+## (fleet_ledger.jsonl, byte-stable per seed modulo wall_ms).
+fleetobs:
+	$(GO) run ./cmd/experiments -run fleetobs
+
+## fleetobs-smoke: the CI-sized variant — 24 cells, same acceptance checks
+## (reconciliation, zero drops, well-formed scrape), no ledger file.
+fleetobs-smoke:
+	$(GO) run ./cmd/experiments -run fleetobs -fleet-cells 24 -fleet-out ""
 
 ## incident: the flight-recorder drill (EXPERIMENTS.md E16) — replay a
 ## seeded SLO breach through the breach→dump path twice and require the

@@ -28,20 +28,25 @@ import (
 // Full mode also gates experiment wall clock: each experiment that exists in
 // the baseline must finish within wallCeiling times its recorded duration,
 // catching large end-to-end slowdowns the kernel throughput ratios miss.
+// Both modes also gate the fresh telemetry overhead: the live recorder plus
+// fleet plane must cost at most overheadCeil percent of block throughput —
+// 3% in full mode, loosened to 15% tolerant where the short window's noise
+// dominates the measurement.
 type benchDiffMode struct {
-	window      time.Duration
-	ratioFloor  float64
-	blockFloor  float64
-	wallCeiling float64
-	figures     bool
-	label       string
+	window       time.Duration
+	ratioFloor   float64
+	blockFloor   float64
+	overheadCeil float64
+	wallCeiling  float64
+	figures      bool
+	label        string
 }
 
 func benchDiffModeFor(tolerant bool) benchDiffMode {
 	if tolerant {
-		return benchDiffMode{window: 40 * time.Millisecond, ratioFloor: 0.35, blockFloor: 0.9, figures: false, label: "tolerant"}
+		return benchDiffMode{window: 40 * time.Millisecond, ratioFloor: 0.35, blockFloor: 0.9, overheadCeil: 15, figures: false, label: "tolerant"}
 	}
-	return benchDiffMode{window: 300 * time.Millisecond, ratioFloor: 0.60, blockFloor: 1.0, wallCeiling: 2.0, figures: true, label: "full"}
+	return benchDiffMode{window: 300 * time.Millisecond, ratioFloor: 0.60, blockFloor: 1.0, overheadCeil: 3, wallCeiling: 2.0, figures: true, label: "full"}
 }
 
 // runBenchDiff measures the current tree and diffs it against the baseline.
@@ -69,6 +74,9 @@ func runBenchDiff(baselinePath string, tolerant bool, frames, packets int) error
 	if err := throughputSection(fresh, mode.window); err != nil {
 		return err
 	}
+	if err := fleetSection(fresh, mode.window); err != nil {
+		return err
+	}
 
 	failures := 0
 	check := func(name string, baseV, freshV float64) {
@@ -92,6 +100,35 @@ func runBenchDiff(baselinePath string, tolerant bool, frames, packets int) error
 	check("xcorr_reference", base.ThroughputMsps.XCorrReference, fresh.ThroughputMsps.XCorrReference)
 	check("wifi_tx", base.ThroughputMsps.WiFiTx, fresh.ThroughputMsps.WiFiTx)
 	check("wifi_rx", base.ThroughputMsps.WiFiRx, fresh.ThroughputMsps.WiFiRx)
+
+	// Fleet drill rate against the baseline (skipped when the baseline
+	// predates the fleet plane). Cells/s is not Msps, but the same ratio
+	// floor catches the same order-of-magnitude regressions.
+	if base.FleetCellsPerSec > 0 {
+		ratio := fresh.FleetCellsPerSec / base.FleetCellsPerSec
+		status := "ok  "
+		if ratio < mode.ratioFloor {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("  %s %-22s %8.0f -> %8.0f cells/s  (%.2fx, floor %.2fx)\n",
+			status, "fleet_cells_per_sec", base.FleetCellsPerSec,
+			fresh.FleetCellsPerSec, ratio, mode.ratioFloor)
+	} else {
+		fmt.Printf("  skip %-22s baseline has no figure\n", "fleet_cells_per_sec")
+	}
+
+	// Telemetry overhead gate on the fresh measurement: observability that
+	// costs more than the ceiling is a regression regardless of baseline.
+	{
+		status := "ok  "
+		if fresh.TelemetryOverheadPct > mode.overheadCeil {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("  %s %-22s %.2f%% of block throughput  (ceiling %.0f%%)\n",
+			status, "telemetry_overhead_pct", fresh.TelemetryOverheadPct, mode.overheadCeil)
+	}
 
 	// Block-over-scalar gate on the fresh measurement: the block datapath
 	// losing to the scalar path is a regression regardless of the baseline.

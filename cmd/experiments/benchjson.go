@@ -15,6 +15,8 @@ import (
 	"repro/internal/host"
 	"repro/internal/iperf"
 	"repro/internal/radio"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/fleet"
 	"repro/internal/telemetry/profile"
 	"repro/internal/wifi"
 	"repro/internal/xcorr"
@@ -61,6 +63,17 @@ type BenchReport struct {
 		WiFiTx float64 `json:"wifi_tx_Msps,omitempty"`
 		WiFiRx float64 `json:"wifi_rx_Msps,omitempty"`
 	} `json:"throughput_msps"`
+
+	// FleetCellsPerSec is the fleet observability drill's rate: cells run,
+	// merged, SLO-evaluated and reconciled per second through the fleet
+	// aggregation plane (older baselines without it diff cleanly).
+	FleetCellsPerSec float64 `json:"fleet_cells_per_sec,omitempty"`
+	// TelemetryOverheadPct is the block-datapath throughput cost of running
+	// with the live recorder attached and the fleet plane snapshotting in
+	// the background, relative to a bare core. bench-diff gates the fresh
+	// value at 3% in full mode. Zero means the cost was below the run's
+	// measurement noise.
+	TelemetryOverheadPct float64 `json:"telemetry_overhead_pct"`
 
 	// Experiments lists wall-clock per experiment at the report's budgets.
 	Experiments []ExperimentTiming `json:"experiments"`
@@ -230,6 +243,58 @@ func throughputSection(rep *BenchReport, window time.Duration) error {
 	return nil
 }
 
+// fleetSection measures the fleet telemetry plane: the fleetobs drill rate
+// in cells per second (including reconciliation) and the telemetry overhead
+// of the instrumented block datapath against a bare core.
+func fleetSection(rep *BenchReport, window time.Duration) error {
+	cells := 64
+	if window < 100*time.Millisecond {
+		cells = 16
+	}
+	start := time.Now()
+	res, err := experiments.RunFleetObs(experiments.FleetObsConfig{
+		Cells: cells, FramesPerCell: 3, Seed: 7,
+	})
+	if err != nil {
+		return err
+	}
+	if err := res.Reconcile(); err != nil {
+		return err
+	}
+	rep.FleetCellsPerSec = float64(cells) / time.Since(start).Seconds()
+
+	// Overhead: the same block workload on a bare core and on one with the
+	// live recorder attached, bound to a fleet cell, with the aggregation
+	// loop snapshotting concurrently — the full observability tax.
+	buf := benchInput()
+	tx := make([]complex128, len(buf))
+	bare, err := benchCore()
+	if err != nil {
+		return err
+	}
+	bareMsps := measureThroughput(len(buf), window, func() { bare.ProcessBlock(buf, tx) })
+
+	inst, err := benchCore()
+	if err != nil {
+		return err
+	}
+	live := telemetry.NewLive(telemetry.DefaultJournalDepth)
+	inst.SetRecorder(live)
+	agg := fleet.New(fleet.Options{})
+	agg.Cell("bench").BindLive(live)
+	agg.Start(50 * time.Millisecond)
+	instMsps := measureThroughput(len(buf), window, func() { inst.ProcessBlock(buf, tx) })
+	agg.Stop()
+	if bareMsps > 0 {
+		pct := (1 - instMsps/bareMsps) * 100
+		if pct < 0 {
+			pct = 0
+		}
+		rep.TelemetryOverheadPct = pct
+	}
+	return nil
+}
+
 func experimentSection(rep *BenchReport, frames, packets int) error {
 	timed := func(name string, f func() error) error {
 		start := time.Now()
@@ -358,6 +423,12 @@ func writeBenchJSON(path string, force bool, frames, packets int) error {
 		rep.ThroughputMsps.XCorrPacked, rep.ThroughputMsps.PackedOverRef)
 	fmt.Printf("  wifi tx frame   %6.2f Msamples/s\n", rep.ThroughputMsps.WiFiTx)
 	fmt.Printf("  wifi rx frame   %6.2f Msamples/s\n", rep.ThroughputMsps.WiFiRx)
+	fmt.Printf("measuring fleet telemetry plane...\n")
+	if err := fleetSection(rep, 300*time.Millisecond); err != nil {
+		return err
+	}
+	fmt.Printf("  fleet drill     %6.0f cells/s\n", rep.FleetCellsPerSec)
+	fmt.Printf("  telemetry tax   %6.2f %% of block throughput\n", rep.TelemetryOverheadPct)
 	fmt.Printf("running experiments (%d frames, %d packets, parallelism %d)...\n",
 		frames, packets, rep.Parallelism)
 	if err := experimentSection(rep, frames, packets); err != nil {

@@ -23,7 +23,7 @@ import (
 )
 
 var (
-	runFlag      = flag.String("run", "all", "experiment: all, fig5, fig6, fig7, fig8, table1, fig10, fig11, fig12, selectivity, resources, reconfig, ablations, reaction, verdict, slo, chaos, incident")
+	runFlag      = flag.String("run", "all", "experiment: all, fig5, fig6, fig7, fig8, table1, fig10, fig11, fig12, selectivity, resources, reconfig, ablations, reaction, verdict, slo, chaos, incident, fleetobs")
 	fullFlag     = flag.Bool("full", false, "paper-scale statistical budgets (slow)")
 	parallelFlag = flag.Int("parallel", 0, "experiment worker fan-out (0 = GOMAXPROCS, 1 = sequential)")
 	benchJSON    = flag.String("bench-json", "", "write a machine-readable benchmark baseline to this path and exit")
@@ -34,6 +34,9 @@ var (
 	chaosSeed    = flag.Int64("chaos-seed", 42, "with -run chaos: master seed of the fault-campaign sweep")
 	chaosOut     = flag.String("chaos-out", "chaos_report.jsonl", "with -run chaos: JSONL campaign report path (empty to skip)")
 	flightOut    = flag.String("flight-out", "incident_dump.json", "with -run incident: flight-recorder dump path (empty to skip)")
+	fleetCells   = flag.Int("fleet-cells", 256, "with -run fleetobs: number of concurrent fleet cells")
+	fleetSeed    = flag.Int64("fleet-seed", 7, "with -run fleetobs: master seed of the fleet drill")
+	fleetOut     = flag.String("fleet-out", "fleet_ledger.jsonl", "with -run fleetobs: JSONL fleet ledger path (empty to skip)")
 )
 
 func main() {
@@ -97,12 +100,29 @@ func main() {
 	run("slo", func() error { return runSLO(frames / 3) })
 	run("chaos", func() error { return runChaos(*chaosSeed, 12, *chaosOut) })
 	run("incident", func() error { return runIncident(*flightOut) })
+	run("fleetobs", func() error {
+		return runFleetObs(*fleetCells, fleetFrames(frames), *fleetSeed, *fleetOut)
+	})
 
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", sel)
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// fleetFrames derives the per-cell engagement count from the statistical
+// frame budget: 1/50th of the single-cell budget, clamped so a -full run
+// does not multiply it by the whole fleet.
+func fleetFrames(frames int) int {
+	per := frames / 50
+	if per < 3 {
+		per = 3
+	}
+	if per > 24 {
+		per = 24
+	}
+	return per
 }
 
 func reaction(frames int) error {

@@ -35,6 +35,11 @@
 //	-flight-out file.json         arm the flight recorder; an anomaly alert
 //	                              (or shutdown) dumps the incident here
 //	-profile-dir dir              continuous CPU/heap profiling into dir
+//	-fleet                        fleet telemetry plane: this console becomes
+//	                              the "jamlab" cell of a fleet aggregator;
+//	                              /metrics serves the cardinality-bounded
+//	                              fleet exposition and /stream a multi-client
+//	                              broadcast that drops stalled subscribers
 //
 // Any of these flags attaches the live telemetry recorder; injected frames
 // are marked so reaction-latency histograms measure frame-start→RF-on. With
@@ -63,6 +68,7 @@ import (
 	"repro/internal/dsp"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/anomaly"
+	"repro/internal/telemetry/fleet"
 	"repro/internal/telemetry/flight"
 	"repro/internal/telemetry/profile"
 	"repro/internal/wifi"
@@ -84,6 +90,10 @@ type console struct {
 	det     *anomaly.Detector
 	dumped  bool
 	sampler *profile.Sampler
+
+	// Fleet plane (nil unless -fleet).
+	agg   *fleet.Aggregator
+	bcast *telemetry.Broadcaster
 }
 
 var (
@@ -97,6 +107,10 @@ var (
 		"write the flight-recorder incident dump here (enables telemetry)")
 	profileDir = flag.String("profile-dir", "",
 		"capture periodic CPU/heap profiles into this directory (enables telemetry)")
+	fleetFlag = flag.Bool("fleet", false,
+		"serve the fleet telemetry plane on -telemetry-addr: /metrics becomes the "+
+			"cardinality-bounded fleet exposition (this console is the 'jamlab' cell) "+
+			"and /stream a multi-client broadcast that drops stalled subscribers (enables telemetry)")
 )
 
 func main() {
@@ -107,7 +121,7 @@ func main() {
 		out:  os.Stdout,
 		rate: 25_000_000,
 	}
-	if *telemetryAddr != "" || *traceOut != "" || *flightOut != "" || *profileDir != "" {
+	if *telemetryAddr != "" || *traceOut != "" || *flightOut != "" || *profileDir != "" || *fleetFlag {
 		live := c.jam.EnableTelemetry()
 		// Flight recorder armed from the start; anomaly alerts (fed
 		// synchronously per processed block) trigger incident dumps.
@@ -136,14 +150,38 @@ func main() {
 		}
 		fmt.Fprintf(c.out, "profiling: CPU/heap captures into %s\n", *profileDir)
 	}
+	if *fleetFlag {
+		// This console is one cell of a fleet: its live recorder binds to
+		// the "jamlab" cell so the aggregation plane pulls it on every
+		// snapshot, and the /stream surface becomes the multi-client
+		// broadcaster that drops (and counts) stalled subscribers.
+		c.agg = fleet.New(fleet.Options{
+			Budgets: fleet.DefaultBudgets(c.jam.GroupDelayCycles()),
+			DroppedClients: func() uint64 {
+				if c.bcast == nil {
+					return 0
+				}
+				return c.bcast.DroppedClients()
+			},
+		})
+		c.agg.Cell("jamlab").BindLive(c.jam.Telemetry())
+		c.bcast = telemetry.NewBroadcaster(*streamInterval, c.agg.RollupSource())
+	}
 	if *telemetryAddr != "" {
 		live := c.jam.Telemetry()
 		mux := http.NewServeMux()
-		mux.Handle("/metrics", c.jam.MetricsHandler())
-		mux.Handle("/stream", telemetry.StreamHandler(*streamInterval,
-			func(seq uint64) []telemetry.Rollup {
-				return []telemetry.Rollup{telemetry.RollupFrom("jamlab", seq, live)}
-			}))
+		if c.agg != nil {
+			mux.Handle("/metrics", c.agg.Handler())
+			mux.Handle("/stream", c.bcast)
+			c.bcast.Start()
+			c.agg.Start(*streamInterval)
+		} else {
+			mux.Handle("/metrics", c.jam.MetricsHandler())
+			mux.Handle("/stream", telemetry.StreamHandler(*streamInterval,
+				func(seq uint64) []telemetry.Rollup {
+					return []telemetry.Rollup{telemetry.RollupFrom("jamlab", seq, live)}
+				}))
+		}
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -229,6 +267,13 @@ func (c *console) shutdown(tracePath string) {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(c.out, "trace written to %s\n", tracePath)
+	}
+	if c.agg != nil {
+		c.bcast.Stop()
+		c.agg.Stop()
+		fs := c.agg.Snapshot()
+		fmt.Fprintf(c.out, "fleet: %d cell(s), SLO pass %d fail %d, %d dropped stream client(s)\n",
+			len(fs.Cells), fs.SLOPassing, fs.SLOFailing, fs.StreamDroppedClients)
 	}
 	s := c.jam.Summary()
 	fmt.Fprintf(c.out,

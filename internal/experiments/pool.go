@@ -3,6 +3,10 @@ package experiments
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/fleet"
 )
 
 // The experiment harness fans independent work items — SNR points, sweep
@@ -34,6 +38,34 @@ func Parallelism() int {
 	parMu.RLock()
 	defer parMu.RUnlock()
 	return parallelism
+}
+
+// fleetSink, when installed, receives per-cell telemetry from every
+// instrumented sweep item the worker pool runs: an item that names its
+// cell (e.g. ReactionConfig.Cell) absorbs its recorder snapshot and
+// outcome tallies into the fleet aggregation plane on completion. The
+// sink is process-wide — the pool is — and items report concurrently from
+// every worker, which the aggregator's sharded cells are built for.
+var fleetSink atomic.Pointer[fleet.Aggregator]
+
+// SetFleetSink installs (or, with nil, removes) the fleet aggregator that
+// collects per-cell telemetry from instrumented sweep items.
+func SetFleetSink(a *fleet.Aggregator) { fleetSink.Store(a) }
+
+// FleetSink returns the installed fleet aggregator (nil when none).
+func FleetSink() *fleet.Aggregator { return fleetSink.Load() }
+
+// reportCell absorbs one finished item's telemetry into the named fleet
+// cell when a sink is installed. frames/jammed carry the item's
+// ground-truth detection outcome for the FN-rate SLO.
+func reportCell(cell string, snap telemetry.Snapshot, frames, jammed uint64) {
+	a := FleetSink()
+	if a == nil || cell == "" {
+		return
+	}
+	c := a.Cell(cell)
+	c.Absorb(snap)
+	c.AddOutcome(frames, jammed)
 }
 
 // forEach runs fn(i) for every i in [0, n) across the worker pool and

@@ -33,6 +33,10 @@ type ReactionConfig struct {
 	Uptime time.Duration
 	// Seed drives noise and payload randomness.
 	Seed int64
+	// Cell, when non-empty and a fleet sink is installed (SetFleetSink),
+	// names the fleet cell this run's telemetry is absorbed into on
+	// completion.
+	Cell string
 }
 
 // ReactionResult is the measured latency distribution plus the recorder
@@ -127,6 +131,7 @@ func MeasureReactionLatency(cfg ReactionConfig) (*ReactionResult, error) {
 	}
 
 	snap := live.Snapshot()
+	reportCell(cfg.Cell, snap, uint64(cfg.Frames), snap.Counters.JamTriggers)
 	res := &ReactionResult{
 		Frames:    cfg.Frames,
 		Triggered: snap.Counters.JamTriggers,

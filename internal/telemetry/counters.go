@@ -53,6 +53,36 @@ func (c *Counters) Snapshot() CounterSnapshot {
 	}
 }
 
+// Add folds a snapshot of another counter block into this one, field by
+// field. Each field is a single atomic add, so Add is safe to run while
+// the owning datapath keeps incrementing and while other goroutines
+// Snapshot concurrently: a reader sees each field either before or after
+// the add, never a torn intermediate (there are no multi-word reads
+// anywhere in the block — every field is an independent atomic.Uint64).
+// This is the merge primitive of the fleet aggregation plane.
+func (c *Counters) Add(s CounterSnapshot) {
+	c.Samples.Add(s.Samples)
+	c.XCorrDetections.Add(s.XCorrDetections)
+	c.EnergyHighDetections.Add(s.EnergyHighDetections)
+	c.EnergyLowDetections.Add(s.EnergyLowDetections)
+	c.JamTriggers.Add(s.JamTriggers)
+	c.JamSamples.Add(s.JamSamples)
+	c.RegWrites.Add(s.RegWrites)
+	c.HostPolls.Add(s.HostPolls)
+}
+
+// Add folds another snapshot into this plain-value snapshot.
+func (s *CounterSnapshot) Add(o CounterSnapshot) {
+	s.Samples += o.Samples
+	s.XCorrDetections += o.XCorrDetections
+	s.EnergyHighDetections += o.EnergyHighDetections
+	s.EnergyLowDetections += o.EnergyLowDetections
+	s.JamTriggers += o.JamTriggers
+	s.JamSamples += o.JamSamples
+	s.RegWrites += o.RegWrites
+	s.HostPolls += o.HostPolls
+}
+
 // Reset zeroes every counter.
 func (c *Counters) Reset() {
 	c.Samples.Store(0)

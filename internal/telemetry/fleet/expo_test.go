@@ -1,0 +1,137 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestWriteOpenMetricsCardinalityBudget: with more cells than the label
+// budget, the scrape keeps the worst cells by name, collapses the rest
+// into cell="other", and passes its own lint.
+func TestWriteOpenMetricsCardinalityBudget(t *testing.T) {
+	a := New(Options{Budgets: testBudgets(), LabelBudget: 4})
+	for i := 0; i < 10; i++ {
+		feedCell(a, fmt.Sprintf("cell-%03d", i), 5, uint64(90+i*10), 0)
+	}
+	var buf bytes.Buffer
+	if err := a.Snapshot().WriteOpenMetrics(&buf, a.LabelBudget()); err != nil {
+		t.Fatal(err)
+	}
+	scrape := buf.String()
+
+	cells, err := LintMetrics(strings.NewReader(scrape), a.LabelBudget())
+	if err != nil {
+		t.Fatalf("lint: %v\n%s", err, scrape)
+	}
+	if cells != 4 {
+		t.Fatalf("labelled cells = %d, want 4", cells)
+	}
+	// Worst 4 by reaction p99 keep their names; the rest are folded.
+	for _, want := range []string{`cell="cell-009"`, `cell="cell-006"`, `cell="other"`} {
+		if !strings.Contains(scrape, want) {
+			t.Errorf("scrape lacks %s", want)
+		}
+	}
+	if strings.Contains(scrape, `cell="cell-005"`) {
+		t.Errorf("cell-005 should be folded into other")
+	}
+	// The overflow series preserves fleet-wide conservation: summed
+	// samples across labelled + other equal the fleet total.
+	if !strings.Contains(scrape, "reactivejam_fleet_cells 10") {
+		t.Errorf("fleet_cells gauge wrong:\n%s", scrape)
+	}
+	if !strings.HasSuffix(scrape, "# EOF\n") {
+		t.Errorf("scrape does not end with # EOF")
+	}
+}
+
+// TestLintMetricsCatchesViolations: the lint helper rejects undeclared
+// metrics, a blown label budget, bad values, and a missing EOF marker.
+func TestLintMetricsCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name   string
+		scrape string
+		budget int
+		want   string
+	}{
+		{
+			"undeclared metric",
+			"foo_total 3\n# EOF\n",
+			8, "no preceding # TYPE",
+		},
+		{
+			"budget exceeded",
+			"# TYPE m gauge\nm{cell=\"a\"} 1\nm{cell=\"b\"} 1\nm{cell=\"other\"} 1\n# EOF\n",
+			1, "exceeds budget",
+		},
+		{
+			"bad value",
+			"# TYPE m gauge\nm pizza\n# EOF\n",
+			8, "bad value",
+		},
+		{
+			"missing EOF",
+			"# TYPE m gauge\nm 1\n",
+			8, "does not end with # EOF",
+		},
+		{
+			"content after EOF",
+			"# TYPE m gauge\nm 1\n# EOF\nm 2\n",
+			8, "after # EOF",
+		},
+	}
+	for _, c := range cases {
+		_, err := LintMetrics(strings.NewReader(c.scrape), c.budget)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+	// The "other" bucket does not count against the budget.
+	ok := "# TYPE m gauge\nm{cell=\"a\"} 1\nm{cell=\"other\"} 1\n# EOF\n"
+	if n, err := LintMetrics(strings.NewReader(ok), 1); err != nil || n != 1 {
+		t.Errorf("other-bucket scrape: n=%d err=%v", n, err)
+	}
+}
+
+// TestLedgerDeterministicBytes: same fleet state, same meta → identical
+// ledger bytes; a changed wall-clock meta field only changes the summary.
+func TestLedgerDeterministicBytes(t *testing.T) {
+	a := New(Options{Budgets: testBudgets(), TopK: 3})
+	feedCell(a, "cell-0", 5, 90, 0)
+	feedCell(a, "cell-1", 5, 500, 1)
+	s := a.Snapshot()
+
+	var one, two bytes.Buffer
+	if err := WriteLedger(&one, s, LedgerMeta{Scenario: "t", Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteLedger(&two, s, LedgerMeta{Scenario: "t", Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one.Bytes(), two.Bytes()) {
+		t.Fatal("ledger not byte-stable")
+	}
+
+	var wall bytes.Buffer
+	if err := WriteLedger(&wall, s, LedgerMeta{Scenario: "t", Seed: 9, WallMS: 123.4}); err != nil {
+		t.Fatal(err)
+	}
+	oneLines := strings.SplitAfter(one.String(), "\n")
+	wallLines := strings.SplitAfter(wall.String(), "\n")
+	if len(oneLines) != len(wallLines) {
+		t.Fatal("wall clock changed the ledger shape")
+	}
+	for i := 1; i < len(oneLines); i++ {
+		if oneLines[i] != wallLines[i] {
+			t.Fatalf("cell line %d changed with wall clock:\n%s%s", i, oneLines[i], wallLines[i])
+		}
+	}
+	if !strings.Contains(wallLines[0], `"wall_ms":123.4`) {
+		t.Fatalf("summary lacks wall_ms: %s", wallLines[0])
+	}
+	if !strings.Contains(one.String(), `"slo_failed":["reaction_p99_cycles","fn_rate"]`) {
+		t.Fatalf("cell-1 failed budgets missing:\n%s", one.String())
+	}
+}

@@ -1,0 +1,129 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+
+	"repro/internal/telemetry/slo"
+)
+
+// The fleet ledger is the periodic JSONL artifact of a fleet run, in the
+// same spirit as the per-packet verdict ledger and the chaos campaign
+// report: a summary line followed by one line per cell, sorted by name.
+// Every field derives from seeded state, so for a given seed the ledger is
+// byte-identical across runs — except WallMS, the single wall-clock field,
+// which bench tooling is expected to ignore when diffing.
+
+// LedgerMeta carries the run identity stamped into the summary line.
+type LedgerMeta struct {
+	// Scenario names the run (e.g. "fleetobs").
+	Scenario string `json:"scenario"`
+	// Seed is the master seed the per-cell seeds derive from.
+	Seed int64 `json:"seed"`
+	// WallMS is the run's wall-clock duration in milliseconds — the only
+	// non-deterministic field in the ledger.
+	WallMS float64 `json:"wall_ms"`
+}
+
+// ledgerSummary is the first JSONL line.
+type ledgerSummary struct {
+	Type string `json:"type"`
+	LedgerMeta
+	Cells                int     `json:"cells"`
+	SLOPassing           int     `json:"slo_passing"`
+	SLOFailing           int     `json:"slo_failing"`
+	Samples              uint64  `json:"samples"`
+	JamTriggers          uint64  `json:"jam_triggers"`
+	Engagements          uint64  `json:"engagements"`
+	Dropped              uint64  `json:"journal_dropped"`
+	Frames               uint64  `json:"frames"`
+	Jammed               uint64  `json:"jammed"`
+	FNRate               float64 `json:"fn_rate"`
+	ReactionP50          uint64  `json:"reaction_p50_cycles"`
+	ReactionP99          uint64  `json:"reaction_p99_cycles"`
+	TriggerToRFP99       uint64  `json:"trigger_to_rf_p99_cycles"`
+	WorstReactionP99     []Rank  `json:"worst_reaction_p99,omitempty"`
+	WorstFNRate          []Rank  `json:"worst_fn_rate,omitempty"`
+	WorstDropped         []Rank  `json:"worst_journal_dropped,omitempty"`
+	StreamDroppedClients uint64  `json:"stream_dropped_clients"`
+}
+
+// ledgerCell is one per-cell JSONL line.
+type ledgerCell struct {
+	Type           string   `json:"type"`
+	Cell           string   `json:"cell"`
+	Samples        uint64   `json:"samples"`
+	JamTriggers    uint64   `json:"jam_triggers"`
+	Engagements    uint64   `json:"engagements"`
+	Dropped        uint64   `json:"journal_dropped"`
+	Frames         uint64   `json:"frames"`
+	Jammed         uint64   `json:"jammed"`
+	FNRate         float64  `json:"fn_rate"`
+	ReactionP50    uint64   `json:"reaction_p50_cycles"`
+	ReactionP99    uint64   `json:"reaction_p99_cycles"`
+	TriggerToRFP99 uint64   `json:"trigger_to_rf_p99_cycles"`
+	SLOPass        bool     `json:"slo_pass"`
+	SLOFailed      []string `json:"slo_failed,omitempty"`
+}
+
+// WriteLedger renders the snapshot as the JSONL fleet ledger.
+func WriteLedger(w io.Writer, s *Snapshot, meta LedgerMeta) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	sum := ledgerSummary{
+		Type:                 "fleet",
+		LedgerMeta:           meta,
+		Cells:                len(s.Cells),
+		SLOPassing:           s.SLOPassing,
+		SLOFailing:           s.SLOFailing,
+		Samples:              s.Total.Counters.Samples,
+		JamTriggers:          s.Total.Counters.JamTriggers,
+		Engagements:          s.Total.Engagements,
+		Dropped:              s.Total.Dropped,
+		Frames:               s.Total.Frames,
+		Jammed:               s.Total.Jammed,
+		FNRate:               s.Total.FNRate,
+		ReactionP50:          s.Total.Reaction.P50,
+		ReactionP99:          s.Total.Reaction.P99,
+		TriggerToRFP99:       s.Total.TriggerToRF.P99,
+		WorstReactionP99:     s.WorstReactionP99,
+		WorstFNRate:          s.WorstFNRate,
+		WorstDropped:         s.WorstDropped,
+		StreamDroppedClients: s.StreamDroppedClients,
+	}
+	if err := enc.Encode(sum); err != nil {
+		return err
+	}
+	for i := range s.Cells {
+		c := &s.Cells[i]
+		row := ledgerCell{
+			Type:           "cell",
+			Cell:           c.Cell,
+			Samples:        c.Counters.Samples,
+			JamTriggers:    c.Counters.JamTriggers,
+			Engagements:    c.Engagements,
+			Dropped:        c.Dropped,
+			Frames:         c.Frames,
+			Jammed:         c.Jammed,
+			FNRate:         c.FNRate,
+			ReactionP50:    c.Reaction.P50,
+			ReactionP99:    c.Reaction.P99,
+			TriggerToRFP99: c.TriggerToRF.P99,
+			SLOPass:        c.SLO.Pass,
+			SLOFailed:      failedMetrics(c.SLO),
+		}
+		if err := enc.Encode(row); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func failedMetrics(rep slo.Report) []string {
+	var out []string
+	for _, c := range rep.Failed() {
+		out = append(out, c.Budget.Metric)
+	}
+	return out
+}

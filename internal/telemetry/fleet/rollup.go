@@ -1,0 +1,66 @@
+package fleet
+
+import "repro/internal/telemetry"
+
+// RollupSource adapts the aggregator to the SSE /stream surface: every
+// tick emits one telemetry.Rollup per cell (worst reaction p99 first,
+// bounded by the label budget like the scrape, with the remainder folded
+// into the "other" rollup) plus a fleet-wide rollup under the cell name
+// "fleet". The per-tick snapshot is shared by all rollups of the tick.
+func (a *Aggregator) RollupSource() telemetry.RollupSource {
+	return func(seq uint64) []telemetry.Rollup {
+		s := a.Snapshot()
+		out := make([]telemetry.Rollup, 0, len(s.Cells)+2)
+		out = append(out, cellRollup(seq, &s.Total))
+
+		labelled, overflow := s.labelled(a.opts.LabelBudget)
+		for i := range labelled {
+			if c := s.CellByName(labelled[i].label); c != nil {
+				out = append(out, cellRollup(seq, c))
+			}
+		}
+		if overflow != nil {
+			out = append(out, telemetry.Rollup{
+				Seq:  seq,
+				Cell: OverflowCell,
+				Counters: telemetry.CounterSnapshot{
+					Samples:     overflow.samples,
+					JamTriggers: overflow.jamTriggers,
+				},
+				Dropped:     overflow.dropped,
+				Engagements: overflow.engagements,
+				Histograms: []telemetry.HistRollup{
+					{Name: telemetry.HistReaction, P99: overflow.reactionP99},
+					{Name: telemetry.HistTriggerToRF, P99: overflow.tinitP99},
+				},
+			})
+		}
+		return out
+	}
+}
+
+func cellRollup(seq uint64, c *CellSnapshot) telemetry.Rollup {
+	return telemetry.Rollup{
+		Seq:         seq,
+		Cell:        c.Cell,
+		Counters:    c.Counters,
+		Dropped:     c.Dropped,
+		Engagements: c.Engagements,
+		Histograms: []telemetry.HistRollup{
+			{
+				Name:  c.Reaction.Name,
+				Count: c.Reaction.Count,
+				P50:   c.Reaction.P50,
+				P99:   c.Reaction.P99,
+				Max:   c.Reaction.Max,
+			},
+			{
+				Name:  c.TriggerToRF.Name,
+				Count: c.TriggerToRF.Count,
+				P50:   c.TriggerToRF.P50,
+				P99:   c.TriggerToRF.P99,
+				Max:   c.TriggerToRF.Max,
+			},
+		},
+	}
+}

@@ -112,6 +112,28 @@ func (h *Histogram) Quantile(q float64) uint64 {
 // Reset clears all observations.
 func (h *Histogram) Reset() { *h = Histogram{} }
 
+// Snapshot returns a point-in-time copy of the histogram with its headline
+// quantiles under the given name. Snapshots are the unit the merge plane
+// exchanges: MergeSnapshot of a snapshot is exact (shared bucket
+// boundaries), so merging snapshots across shards in any order or grouping
+// yields the identical histogram.
+func (h *Histogram) Snapshot(name string) HistogramSnapshot {
+	s := HistogramSnapshot{
+		Name:  name,
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+	h.Buckets(func(upper, count uint64) {
+		s.Buckets = append(s.Buckets, [2]uint64{upper, count})
+	})
+	return s
+}
+
 // MergeSnapshot folds a snapshot of another histogram into this one. Bucket
 // upper bounds are exact bucket boundaries, so each snapshot bucket lands in
 // the identical bucket here and quantiles of the merged histogram match a

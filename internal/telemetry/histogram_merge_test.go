@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// histEqual compares two histograms for full structural equality —
+// bucket-by-bucket, plus every headline statistic and a quantile sweep.
+func histEqual(t *testing.T, label string, a, b *Histogram) {
+	t.Helper()
+	if a.counts != b.counts {
+		t.Fatalf("%s: bucket arrays differ", label)
+	}
+	if a.count != b.count || a.sum != b.sum || a.min != b.min || a.max != b.max {
+		t.Fatalf("%s: stats differ: (%d,%d,%d,%d) vs (%d,%d,%d,%d)", label,
+			a.count, a.sum, a.min, a.max, b.count, b.sum, b.min, b.max)
+	}
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Fatalf("%s: quantile %g differs: %d vs %d", label, q, a.Quantile(q), b.Quantile(q))
+		}
+	}
+}
+
+// TestHistogramMergeOrderInvariance is the shard-merge property test: the
+// fleet aggregator merges per-cell histograms in whatever order the shard
+// walk produces, so MergeSnapshot must be commutative and associative —
+// any merge order and any grouping must yield the identical histogram,
+// bucket for bucket and quantile for quantile.
+func TestHistogramMergeOrderInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		// Random shard count and shard contents spanning the full
+		// log-linear range, including empties.
+		nShards := 2 + rng.Intn(6)
+		shards := make([]*Histogram, nShards)
+		var direct Histogram // observes every value, no merging
+		for i := range shards {
+			shards[i] = &Histogram{}
+			for n := rng.Intn(40); n > 0; n-- {
+				v := uint64(0)
+				switch rng.Intn(4) {
+				case 0:
+					v = uint64(rng.Intn(16)) // exact small buckets
+				case 1:
+					v = uint64(rng.Intn(1 << 10))
+				case 2:
+					v = uint64(rng.Int63n(1 << 32))
+				case 3:
+					v = uint64(rng.Int63()) // deep octaves
+				}
+				shards[i].Observe(v)
+				direct.Observe(v)
+			}
+		}
+		snaps := make([]HistogramSnapshot, nShards)
+		for i, h := range shards {
+			snaps[i] = h.Snapshot("")
+		}
+
+		// Forward order.
+		var fwd Histogram
+		for _, s := range snaps {
+			fwd.MergeSnapshot(s)
+		}
+		// A merged histogram must match one that observed both streams
+		// directly (the MergeSnapshot contract).
+		histEqual(t, "merged vs direct", &fwd, &direct)
+
+		// Commutativity: a random permutation.
+		var perm Histogram
+		for _, i := range rng.Perm(nShards) {
+			perm.MergeSnapshot(snaps[i])
+		}
+		histEqual(t, "permuted order", &perm, &fwd)
+
+		// Associativity: merge a random split pairwise, then combine the
+		// intermediates ((a..k) + (k..n) vs flat).
+		k := 1 + rng.Intn(nShards-1)
+		var left, right, assoc Histogram
+		for _, s := range snaps[:k] {
+			left.MergeSnapshot(s)
+		}
+		for _, s := range snaps[k:] {
+			right.MergeSnapshot(s)
+		}
+		assoc.MergeSnapshot(left.Snapshot(""))
+		assoc.MergeSnapshot(right.Snapshot(""))
+		histEqual(t, "grouped merge", &assoc, &fwd)
+	}
+}

@@ -170,20 +170,7 @@ func (s HistogramSnapshot) P50Duration() time.Duration { return CyclesToDuration
 func (s HistogramSnapshot) P99Duration() time.Duration { return CyclesToDuration(s.P99) }
 
 func snapshotHist(name string, h *Histogram) HistogramSnapshot {
-	s := HistogramSnapshot{
-		Name:  name,
-		Count: h.Count(),
-		Sum:   h.Sum(),
-		Min:   h.Min(),
-		Max:   h.Max(),
-		P50:   h.Quantile(0.50),
-		P90:   h.Quantile(0.90),
-		P99:   h.Quantile(0.99),
-	}
-	h.Buckets(func(upper, count uint64) {
-		s.Buckets = append(s.Buckets, [2]uint64{upper, count})
-	})
-	return s
+	return h.Snapshot(name)
 }
 
 // Histogram names used in snapshots and the exposition endpoint.

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCounterMergeRace is the fleet-aggregation tear audit: one goroutine
+// plays the datapath hot path incrementing a cell's counter block, while
+// another repeatedly snapshots it and merges the snapshot into a fleet
+// accumulator. Under -race this proves the snapshot/merge path performs no
+// non-atomic multi-word reads; the monotonicity check proves no snapshot
+// ever observes a torn intermediate going backwards.
+func TestCounterMergeRace(t *testing.T) {
+	var cell Counters
+	var fleetAcc Counters
+	const iters = 20000
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			cell.Samples.Add(1)
+			cell.JamTriggers.Add(1)
+			cell.XCorrDetections.Add(1)
+			cell.EnergyHighDetections.Add(1)
+			cell.JamSamples.Add(3)
+		}
+	}()
+	var lastSamples uint64
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			s := cell.Snapshot()
+			if s.Samples < lastSamples {
+				t.Errorf("snapshot went backwards: %d after %d", s.Samples, lastSamples)
+				return
+			}
+			lastSamples = s.Samples
+			fleetAcc.Add(s)
+		}
+	}()
+	wg.Wait()
+
+	final := cell.Snapshot()
+	if final.Samples != iters || final.JamSamples != 3*iters {
+		t.Fatalf("hot path lost increments: %+v", final)
+	}
+	// The accumulator holds 200 partial merges; only sanity-check that the
+	// adds themselves were atomic (a torn add would corrupt the total in a
+	// way unrelated to any snapshot value, caught by -race anyway).
+	if acc := fleetAcc.Snapshot(); acc.Samples < lastSamples {
+		t.Fatalf("accumulator lost the last merge: %d < %d", acc.Samples, lastSamples)
+	}
+}
+
+// TestLiveMergeWhileObserving covers the histogram half of the same audit:
+// Live.Merge folds a snapshot into a recorder whose hot path keeps
+// observing events concurrently. Counts must add up exactly afterwards.
+func TestLiveMergeWhileObserving(t *testing.T) {
+	src := NewLive(64)
+	for i := 0; i < 100; i++ {
+		src.Event(EvTriggerFire, uint64(i*10), 0, 1)
+		src.Event(EvJamRFOn, uint64(i*10+5), 0, 1)
+	}
+	snap := src.Snapshot()
+
+	dst := NewLive(64)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			dst.Event(EvTriggerFire, uint64(i*10), 0, 2)
+			dst.Event(EvJamRFOn, uint64(i*10+7), 0, 2)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			dst.Merge(snap)
+		}
+	}()
+	wg.Wait()
+
+	got := dst.Snapshot().Histogram(HistTriggerToRF).Count
+	want := uint64(100 + 10*100)
+	if got != want {
+		t.Fatalf("merged trigger→RF count = %d, want %d", got, want)
+	}
+}

@@ -120,6 +120,12 @@ func (f *Framework) Tune(hz float64) error { return f.radio.Tune(hz) }
 // 25_000_000 (the default) for native-rate input.
 func (f *Framework) SetSourceRate(hz int) error { return f.radio.SetSourceRate(hz) }
 
+// GroupDelayCycles returns the receive front end's group delay in hardware
+// clock cycles at the current source rate — the allowance latency budgets
+// anchored at the frame boundary entering the radio must add on top of the
+// paper's detection timeline.
+func (f *Framework) GroupDelayCycles() uint64 { return f.radio.GroupDelayCycles() }
+
 // DetectEnergyRise arms the energy differentiator alone: the platform
 // reacts to any in-band energy rise of at least thresholdDB (3–30 dB).
 func (f *Framework) DetectEnergyRise(thresholdDB float64) error {
