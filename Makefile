@@ -15,7 +15,7 @@ endif
 ## build must not fetch dependencies).
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: ci build vet test race bench bench-smoke bench-json bench-diff bench-diff-smoke slo examples-smoke cover cover-baseline chaos staticcheck incident fleetobs fleetobs-smoke
+.PHONY: ci build vet test race bench bench-smoke bench-json bench-diff bench-diff-smoke slo examples-smoke cover cover-baseline chaos staticcheck incident fleetobs fleetobs-smoke flowpipe flowpipe-smoke
 
 ## ci: the full tier-1 verify path — vet, build, tests, then the race
 ## detector over every package (the register bus, clock and telemetry
@@ -29,7 +29,9 @@ STATICCHECK_VERSION ?= 2025.1
 ## ratchet against COVERAGE_BASELINE. fleetobs-smoke runs the fleet
 ## telemetry drill at small scale and fails on journal drops, a
 ## reconciliation mismatch, or a malformed / over-budget metrics scrape.
-ci: vet staticcheck build test race bench-smoke slo bench-diff-smoke fleetobs-smoke examples-smoke cover
+## flowpipe-smoke proves the pipelined flowgraph scheduler bit-identical to
+## the synchronous reference on the host datapath before measuring it.
+ci: vet staticcheck build test race bench-smoke slo bench-diff-smoke fleetobs-smoke flowpipe-smoke examples-smoke cover
 
 ## staticcheck: zero-findings lint gate, pinned to $(STATICCHECK_VERSION).
 ## Skips with a note when the binary is absent (no network fetches in CI).
@@ -110,6 +112,19 @@ fleetobs:
 ## (reconciliation, zero drops, well-formed scrape), no ledger file.
 fleetobs-smoke:
 	$(GO) run ./cmd/experiments -run fleetobs -fleet-cells 24 -fleet-out ""
+
+## flowpipe: the flowgraph scheduler comparison (EXPERIMENTS.md E20) —
+## proves the backpressured pipeline runtime bit-identical to the
+## synchronous reference on the host datapath at every chunk size, then
+## reports both schedulers' Msps and the ring stall counters. Paper-scale
+## streams via FULL=1.
+flowpipe:
+	$(GO) run ./cmd/experiments -run flowpipe $(if $(FULL),-full)
+
+## flowpipe-smoke: the CI-sized variant — same bit-exactness gate on the
+## default (reduced) stream budget; any scheduler divergence exits 1.
+flowpipe-smoke:
+	$(GO) run ./cmd/experiments -run flowpipe
 
 ## incident: the flight-recorder drill (EXPERIMENTS.md E16) — replay a
 ## seeded SLO breach through the breach→dump path twice and require the

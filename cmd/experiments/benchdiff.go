@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 )
@@ -32,10 +33,18 @@ import (
 // fleet plane must cost at most overheadCeil percent of block throughput —
 // 3% in full mode, loosened to 15% tolerant where the short window's noise
 // dominates the measurement.
+// Both modes also gate the fresh pipeline-over-sync ratio: the pipelined
+// flowgraph scheduler must earn its rings. With more than one core, full
+// mode requires it to at least match the synchronous scheduler (floor 1.0);
+// on a single-core host parallelism cannot pay, so the floor relaxes to
+// 0.85 — the rings may cost scheduling overhead but not more (the ratio
+// measures 0.89–0.96 on the single-core CI box). Tolerant mode uses 0.8
+// everywhere to absorb the short window's noise.
 type benchDiffMode struct {
 	window       time.Duration
 	ratioFloor   float64
 	blockFloor   float64
+	pipeFloor    float64
 	overheadCeil float64
 	wallCeiling  float64
 	figures      bool
@@ -44,9 +53,13 @@ type benchDiffMode struct {
 
 func benchDiffModeFor(tolerant bool) benchDiffMode {
 	if tolerant {
-		return benchDiffMode{window: 40 * time.Millisecond, ratioFloor: 0.35, blockFloor: 0.9, overheadCeil: 15, figures: false, label: "tolerant"}
+		return benchDiffMode{window: 40 * time.Millisecond, ratioFloor: 0.35, blockFloor: 0.9, pipeFloor: 0.8, overheadCeil: 15, figures: false, label: "tolerant"}
 	}
-	return benchDiffMode{window: 300 * time.Millisecond, ratioFloor: 0.60, blockFloor: 1.0, overheadCeil: 3, wallCeiling: 2.0, figures: true, label: "full"}
+	pipeFloor := 1.0
+	if runtime.GOMAXPROCS(0) == 1 {
+		pipeFloor = 0.85
+	}
+	return benchDiffMode{window: 300 * time.Millisecond, ratioFloor: 0.60, blockFloor: 1.0, pipeFloor: pipeFloor, overheadCeil: 3, wallCeiling: 2.0, figures: true, label: "full"}
 }
 
 // runBenchDiff measures the current tree and diffs it against the baseline.
@@ -100,6 +113,8 @@ func runBenchDiff(baselinePath string, tolerant bool, frames, packets int) error
 	check("xcorr_reference", base.ThroughputMsps.XCorrReference, fresh.ThroughputMsps.XCorrReference)
 	check("wifi_tx", base.ThroughputMsps.WiFiTx, fresh.ThroughputMsps.WiFiTx)
 	check("wifi_rx", base.ThroughputMsps.WiFiRx, fresh.ThroughputMsps.WiFiRx)
+	check("flow_sync", base.ThroughputMsps.FlowSync, fresh.ThroughputMsps.FlowSync)
+	check("flow_pipeline", base.ThroughputMsps.FlowPipeline, fresh.ThroughputMsps.FlowPipeline)
 
 	// Fleet drill rate against the baseline (skipped when the baseline
 	// predates the fleet plane). Cells/s is not Msps, but the same ratio
@@ -141,6 +156,21 @@ func runBenchDiff(baselinePath string, tolerant bool, frames, packets int) error
 		fmt.Printf("  %s %-22s block %.2f / scalar %.2f = %.2fx  (floor %.2fx)\n",
 			status, "block_over_scalar", fresh.ThroughputMsps.CoreBlock,
 			fresh.ThroughputMsps.CorePerSample, bos, mode.blockFloor)
+	}
+
+	// Pipeline-over-sync gate on the fresh measurement: the pipelined
+	// scheduler losing to the synchronous one (beyond the mode's floor) is
+	// a regression regardless of the baseline. RunFlowPipe already proved
+	// the two bit-identical before this ratio was measured.
+	if pos := fresh.ThroughputMsps.PipelineOverSync; pos > 0 {
+		status := "ok  "
+		if pos < mode.pipeFloor {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("  %s %-22s pipeline %.2f / sync %.2f = %.2fx  (floor %.2fx)\n",
+			status, "pipeline_over_sync", fresh.ThroughputMsps.FlowPipeline,
+			fresh.ThroughputMsps.FlowSync, pos, mode.pipeFloor)
 	}
 
 	if mode.figures && len(base.Figures) > 0 {

@@ -62,6 +62,17 @@ type BenchReport struct {
 		// Older baselines without them diff cleanly.
 		WiFiTx float64 `json:"wifi_tx_Msps,omitempty"`
 		WiFiRx float64 `json:"wifi_rx_Msps,omitempty"`
+		// FlowSync and FlowPipeline are the flowgraph runtime's rates on the
+		// full host datapath graph (source+noise→impairments→core→sink with
+		// a probe tap): the synchronous reference scheduler versus the
+		// backpressured pipelined one, measured after a bit-exactness check.
+		// PipelineOverSync is their ratio; bench-diff gates it — the rings
+		// must not cost more than scheduling noise on one core, and must
+		// win outright once GOMAXPROCS > 1. Older baselines without these
+		// fields diff cleanly.
+		FlowSync         float64 `json:"flow_sync_Msps,omitempty"`
+		FlowPipeline     float64 `json:"flow_pipeline_Msps,omitempty"`
+		PipelineOverSync float64 `json:"pipeline_over_sync,omitempty"`
 	} `json:"throughput_msps"`
 
 	// FleetCellsPerSec is the fleet observability drill's rate: cells run,
@@ -240,6 +251,23 @@ func throughputSection(rep *BenchReport, window time.Duration) error {
 	rep.ThroughputMsps.WiFiRx = measureThroughput(frameLen, window, func() {
 		rxc.RxFrame(frame, 144, 240) //nolint:errcheck // checked once above
 	})
+
+	// Flowgraph schedulers on the full host datapath graph: one chunk size
+	// (the default 4096) is enough for the gate; the flowpipe experiment
+	// sweeps more. RunFlowPipe verifies bit-exactness before timing.
+	fp, err := experiments.RunFlowPipe(experiments.FlowPipeConfig{
+		TotalSamples:  1 << 20,
+		VerifySamples: 1 << 17,
+		Chunks:        []int{4096},
+		Seed:          11,
+		MinDuration:   window,
+	})
+	if err != nil {
+		return err
+	}
+	rep.ThroughputMsps.FlowSync = fp.Points[0].SyncMsps
+	rep.ThroughputMsps.FlowPipeline = fp.Points[0].PipelineMsps
+	rep.ThroughputMsps.PipelineOverSync = fp.Points[0].Ratio
 	return nil
 }
 
@@ -423,6 +451,9 @@ func writeBenchJSON(path string, force bool, frames, packets int) error {
 		rep.ThroughputMsps.XCorrPacked, rep.ThroughputMsps.PackedOverRef)
 	fmt.Printf("  wifi tx frame   %6.2f Msamples/s\n", rep.ThroughputMsps.WiFiTx)
 	fmt.Printf("  wifi rx frame   %6.2f Msamples/s\n", rep.ThroughputMsps.WiFiRx)
+	fmt.Printf("  flow sync       %6.2f Msamples/s\n", rep.ThroughputMsps.FlowSync)
+	fmt.Printf("  flow pipeline   %6.2f Msamples/s (%.2fx over sync)\n",
+		rep.ThroughputMsps.FlowPipeline, rep.ThroughputMsps.PipelineOverSync)
 	fmt.Printf("measuring fleet telemetry plane...\n")
 	if err := fleetSection(rep, 300*time.Millisecond); err != nil {
 		return err

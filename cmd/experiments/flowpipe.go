@@ -1,0 +1,42 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// runFlowPipe runs the E20 scheduler comparison: bit-exactness of the
+// pipelined flowgraph runtime against the synchronous reference on the host
+// datapath, then a throughput sweep across chunk sizes. RunFlowPipe fails
+// outright on any output divergence, so a printed table implies the
+// exactness gate passed.
+func runFlowPipe(full bool) error {
+	cfg := experiments.FlowPipeConfig{Seed: 11}
+	if full {
+		cfg.TotalSamples = 8_000_000
+		cfg.MinDuration = 500 * time.Millisecond
+	}
+	fmt.Printf("flowgraph scheduler comparison: sync reference vs backpressured pipeline\n")
+	fmt.Printf("(GOMAXPROCS %d; pipeline parallelism needs >1 core to pay for its rings)\n",
+		runtime.GOMAXPROCS(0))
+	res, err := experiments.RunFlowPipe(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  bit-exactness: %d samples per chunk size, sync == pipelined\n",
+		res.VerifiedSamples)
+	fmt.Printf("  %8s %12s %14s %8s %16s\n",
+		"chunk", "sync Msps", "pipeline Msps", "ratio", "stalls (p/c)")
+	for _, p := range res.Points {
+		fmt.Printf("  %8d %12.2f %14.2f %7.2fx %10d/%d\n",
+			p.Chunk, p.SyncMsps, p.PipelineMsps, p.Ratio,
+			p.ProducerStalls, p.ConsumerStalls)
+	}
+	best := res.Best()
+	fmt.Printf("  best pipeline rate %.2f Msps at chunk %d (%.1fx real-time at 25 MSPS)\n",
+		best.PipelineMsps, best.Chunk, best.PipelineMsps/25)
+	return nil
+}

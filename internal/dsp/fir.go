@@ -59,10 +59,17 @@ func (f *FIR) ProcessSample(x complex128) complex128 {
 // same length. The filter state persists across calls.
 func (f *FIR) Filter(x Samples) Samples {
 	out := make(Samples, len(x))
-	for i, v := range x {
-		out[i] = f.ProcessSample(v)
-	}
+	f.FilterInto(out, x)
 	return out
+}
+
+// FilterInto filters x into dst (which must be at least len(x) long) without
+// allocating. dst and x may be the same slice: each output sample is written
+// only after the corresponding input sample has entered the delay line.
+func (f *FIR) FilterInto(dst, x Samples) {
+	for i, v := range x {
+		dst[i] = f.ProcessSample(v)
+	}
 }
 
 // LowpassTaps designs a windowed-sinc lowpass filter with the given number

@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dsp"
+	"repro/internal/flow"
+	"repro/internal/host"
+	"repro/internal/impair"
+	"repro/internal/jammer"
+	"repro/internal/trigger"
+)
+
+// The flowpipe experiment (E20) characterizes the backpressured pipeline
+// scheduler against the synchronous reference on the paper's host datapath:
+// bursty air + noise → front-end impairments → jammer core → sink, with a
+// probe tap fanning out from the front end. For every chunk size it first
+// proves the two schedulers bit-identical on a seeded stream, then measures
+// both in Msps and reports the pipeline/sync ratio plus the ring stall
+// counters that explain it.
+
+// FlowPipeConfig sizes the scheduler comparison.
+type FlowPipeConfig struct {
+	// TotalSamples is the stream length of one timed run (default 2M).
+	TotalSamples int
+	// VerifySamples is the stream length of the bit-exactness check
+	// (default 200k; capped at TotalSamples).
+	VerifySamples int
+	// Chunks are the chunk sizes to sweep (default 256, 1024, 4096).
+	Chunks []int
+	// Depth is the ring depth between pipeline stages (default 4).
+	Depth int
+	// Workers caps concurrent Work calls (0 = one per runnable stage).
+	Workers int
+	// Seed drives every stochastic element (burst plan, noise, impairments).
+	Seed int64
+	// MinDuration is the per-scheduler measurement window (default 150 ms).
+	MinDuration time.Duration
+}
+
+// FlowPipePoint is one chunk size's comparison row.
+type FlowPipePoint struct {
+	Chunk          int
+	SyncMsps       float64
+	PipelineMsps   float64
+	Ratio          float64 // PipelineMsps / SyncMsps
+	ProducerStalls uint64  // full-ring waits across all edges
+	ConsumerStalls uint64  // empty-ring waits across all edges
+}
+
+// FlowPipeResult is the experiment outcome. Construction succeeds only if
+// every chunk size passed the bit-exactness check first.
+type FlowPipeResult struct {
+	Points          []FlowPipePoint
+	VerifiedSamples int // samples compared ==-exact per chunk size
+}
+
+// Best returns the row with the highest pipeline throughput.
+func (r *FlowPipeResult) Best() FlowPipePoint {
+	best := r.Points[0]
+	for _, p := range r.Points[1:] {
+		if p.PipelineMsps > best.PipelineMsps {
+			best = p
+		}
+	}
+	return best
+}
+
+// flowPipeBurst builds the deterministic on/off bursty waveform the graph
+// source replays: idle gaps and Gaussian-ish bursts of varying amplitude,
+// enough structure to exercise both detectors and the jam controller.
+func flowPipeBurst(n int, seed int64) dsp.Samples {
+	rng := rand.New(rand.NewSource(seed))
+	data := make(dsp.Samples, n)
+	for i := 0; i < n; {
+		gap := 100 + rng.Intn(400)
+		burst := 200 + rng.Intn(600)
+		amp := 0.2 + rng.Float64()*0.5
+		for j := 0; j < gap && i < n; j, i = j+1, i+1 {
+			data[i] = 0
+		}
+		for j := 0; j < burst && i < n; j, i = j+1, i+1 {
+			data[i] = complex(amp*rng.NormFloat64()*0.3+amp, amp*rng.NormFloat64()*0.3)
+		}
+	}
+	return data
+}
+
+// flowPipeGraph assembles the datapath graph. With retain set the terminal
+// block is a VectorSink (for exactness comparison); otherwise a Probe so
+// timed runs hold no stream memory.
+func flowPipeGraph(chunk int, seed int64, retain bool) (*flow.Graph, *flow.VectorSink, error) {
+	c := core.New()
+	h := host.New(c)
+	if _, err := h.ProgramCorrelatorFA(host.WiFiShortTemplate(), 0.1); err != nil {
+		return nil, nil, err
+	}
+	if _, err := h.ProgramEnergy(10, 0); err != nil {
+		return nil, nil, err
+	}
+	if _, err := h.ProgramTrigger(core.FusionAny,
+		[]trigger.Event{trigger.EventXCorr, trigger.EventEnergyHigh}, 0); err != nil {
+		return nil, nil, err
+	}
+	if _, err := h.ProgramJammer(host.Personality{
+		Waveform: jammer.WaveformWGN, Uptime: 10e3, Gain: 1,
+	}); err != nil {
+		return nil, nil, err
+	}
+
+	g := flow.NewGraph(chunk)
+	src := g.Add(&flow.VectorSource{Label: "air", Data: flowPipeBurst(6000, seed), Repeat: true})
+	noise := g.Add(&flow.NoiseSourceBlock{Src: dsp.NewNoiseSource(1e-4, seed+1)})
+	add := g.Add(flow.Adder{})
+	front := g.Add(flow.ImpairBlock{Chain: impair.New(impair.TypicalUSRP(2.484e9, 25e6, seed+2))})
+	tap := g.Add(&flow.Probe{Label: "rx-tap"})
+	jam := g.Add(flow.CoreBlock{Core: c})
+
+	var sink *flow.VectorSink
+	var term int
+	if retain {
+		sink = &flow.VectorSink{}
+		term = g.Add(sink)
+	} else {
+		term = g.Add(&flow.Probe{Label: "tx"})
+	}
+	for _, w := range []struct{ s, sp, d, dp int }{
+		{src, 0, add, 0}, {noise, 0, add, 1}, {add, 0, front, 0},
+		{front, 0, tap, 0}, {front, 0, jam, 0}, {jam, 0, term, 0},
+	} {
+		if err := g.Connect(w.s, w.sp, w.d, w.dp); err != nil {
+			return nil, nil, err
+		}
+	}
+	return g, sink, nil
+}
+
+// flowPipeVerify builds the graph twice from the same seed and requires the
+// pipelined sink stream ==-exact against the synchronous one.
+func flowPipeVerify(chunk, total int, cfg FlowPipeConfig) error {
+	ref, refSink, err := flowPipeGraph(chunk, cfg.Seed, true)
+	if err != nil {
+		return err
+	}
+	if err := ref.Run(total); err != nil {
+		return fmt.Errorf("sync run: %w", err)
+	}
+	pip, pipSink, err := flowPipeGraph(chunk, cfg.Seed, true)
+	if err != nil {
+		return err
+	}
+	if _, err := pip.RunPipelined(total, flow.PipelineOptions{
+		Depth: cfg.Depth, Workers: cfg.Workers,
+	}); err != nil {
+		return fmt.Errorf("pipelined run: %w", err)
+	}
+	if len(refSink.Data) != total || len(pipSink.Data) != total {
+		return fmt.Errorf("sink lengths sync %d / pipelined %d, want %d",
+			len(refSink.Data), len(pipSink.Data), total)
+	}
+	for i := range refSink.Data {
+		if refSink.Data[i] != pipSink.Data[i] {
+			return fmt.Errorf("sample %d diverges: sync %v, pipelined %v",
+				i, refSink.Data[i], pipSink.Data[i])
+		}
+	}
+	return nil
+}
+
+// RunFlowPipe verifies and measures both schedulers at every configured
+// chunk size. Any bit-exactness failure aborts the whole experiment — a
+// pipeline that is fast but wrong has no throughput figure worth reporting.
+func RunFlowPipe(cfg FlowPipeConfig) (*FlowPipeResult, error) {
+	if cfg.TotalSamples <= 0 {
+		cfg.TotalSamples = 2_000_000
+	}
+	if cfg.VerifySamples <= 0 {
+		cfg.VerifySamples = 200_000
+	}
+	if cfg.VerifySamples > cfg.TotalSamples {
+		cfg.VerifySamples = cfg.TotalSamples
+	}
+	if len(cfg.Chunks) == 0 {
+		cfg.Chunks = []int{256, 1024, 4096}
+	}
+	if cfg.Depth <= 0 {
+		cfg.Depth = 4
+	}
+	if cfg.MinDuration <= 0 {
+		cfg.MinDuration = 150 * time.Millisecond
+	}
+
+	res := &FlowPipeResult{VerifiedSamples: cfg.VerifySamples}
+	for _, chunk := range cfg.Chunks {
+		if chunk < 1 {
+			return nil, fmt.Errorf("experiments: chunk %d invalid", chunk)
+		}
+		if err := flowPipeVerify(chunk, cfg.VerifySamples, cfg); err != nil {
+			return nil, fmt.Errorf("experiments: flowpipe chunk %d: schedulers diverge: %w", chunk, err)
+		}
+
+		sg, _, err := flowPipeGraph(chunk, cfg.Seed, false)
+		if err != nil {
+			return nil, err
+		}
+		syncMsps, err := flowPipeMeasure(cfg, func() error {
+			return sg.Run(cfg.TotalSamples)
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		pg, _, err := flowPipeGraph(chunk, cfg.Seed, false)
+		if err != nil {
+			return nil, err
+		}
+		var producer, consumer uint64
+		pipeMsps, err := flowPipeMeasure(cfg, func() error {
+			stats, err := pg.RunPipelined(cfg.TotalSamples, flow.PipelineOptions{
+				Depth: cfg.Depth, Workers: cfg.Workers,
+			})
+			if err != nil {
+				return err
+			}
+			p, c := stats.TotalStalls()
+			producer, consumer = p, c
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		pt := FlowPipePoint{
+			Chunk:          chunk,
+			SyncMsps:       syncMsps,
+			PipelineMsps:   pipeMsps,
+			ProducerStalls: producer,
+			ConsumerStalls: consumer,
+		}
+		if syncMsps > 0 {
+			pt.Ratio = pipeMsps / syncMsps
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// flowPipeMeasure repeats run until the measurement window fills and
+// returns millions of samples per second. The first run warms plan caches
+// and ring allocations outside the timed window.
+func flowPipeMeasure(cfg FlowPipeConfig, run func() error) (float64, error) {
+	if err := run(); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	n := 0
+	for n == 0 || time.Since(start) < cfg.MinDuration {
+		if err := run(); err != nil {
+			return 0, err
+		}
+		n += cfg.TotalSamples
+	}
+	return float64(n) / time.Since(start).Seconds() / 1e6, nil
+}

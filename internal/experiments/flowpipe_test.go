@@ -1,0 +1,40 @@
+package experiments
+
+import "testing"
+
+func TestRunFlowPipe(t *testing.T) {
+	res, err := RunFlowPipe(FlowPipeConfig{
+		TotalSamples:  60_000,
+		VerifySamples: 30_000,
+		Chunks:        []int{64, 1024},
+		Seed:          5,
+		MinDuration:   1, // one timed repetition per scheduler
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.SyncMsps <= 0 || p.PipelineMsps <= 0 {
+			t.Fatalf("chunk %d: non-positive throughput %+v", p.Chunk, p)
+		}
+		if p.Ratio <= 0 {
+			t.Fatalf("chunk %d: ratio not computed", p.Chunk)
+		}
+	}
+	if res.VerifiedSamples != 30_000 {
+		t.Fatalf("verified %d samples, want 30000", res.VerifiedSamples)
+	}
+	if best := res.Best(); best.PipelineMsps < res.Points[0].PipelineMsps &&
+		best.PipelineMsps < res.Points[1].PipelineMsps {
+		t.Fatal("Best returned neither point")
+	}
+}
+
+func TestRunFlowPipeRejectsBadChunk(t *testing.T) {
+	if _, err := RunFlowPipe(FlowPipeConfig{Chunks: []int{0}}); err == nil {
+		t.Fatal("chunk 0 accepted")
+	}
+}

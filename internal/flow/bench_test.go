@@ -1,0 +1,106 @@
+package flow
+
+import (
+	"testing"
+
+	"repro/internal/dsp"
+)
+
+// benchGraph is a three-stage allocation-free datapath (source → gain →
+// probe): none of the blocks allocate in Work, so any alloc the benchmark
+// reports is scheduler overhead.
+func benchGraph(b testing.TB, chunk int) *Graph {
+	b.Helper()
+	g := NewGraph(chunk)
+	src := g.Add(&VectorSource{Data: dsp.Samples{1, 2i, 3}, Repeat: true})
+	gain := g.Add(Gain{G: complex(0.5, 0.5)})
+	probe := g.Add(&Probe{})
+	if err := g.Connect(src, 0, gain, 0); err != nil {
+		b.Fatal(err)
+	}
+	if err := g.Connect(gain, 0, probe, 0); err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkSyncScheduler pins the synchronous scheduler's steady-state
+// allocation count: after the first Run warms the cached plan, chunk loops
+// must not allocate at all.
+func BenchmarkSyncScheduler(b *testing.B) {
+	const chunk, total = 4096, 4096 * 16
+	g := benchGraph(b, chunk)
+	if err := g.Run(total); err != nil { // warm the plan cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(total * 16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := g.Run(total); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelinedScheduler measures the pipelined scheduler's per-run
+// cost. Unlike the sync path, each run necessarily allocates its ring set
+// and goroutine stack bookkeeping — but that cost is per-Run, not
+// per-chunk, so allocs/op must stay flat as the stream grows.
+func BenchmarkPipelinedScheduler(b *testing.B) {
+	const chunk, total = 4096, 4096 * 16
+	g := benchGraph(b, chunk)
+	b.ReportAllocs()
+	b.SetBytes(int64(total * 16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.RunPipelined(total, PipelineOptions{Depth: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestSyncSchedulerSteadyStateZeroAlloc is the hard pin behind
+// BenchmarkSyncScheduler: with the plan cached, a full Run performs zero
+// heap allocations.
+func TestSyncSchedulerSteadyStateZeroAlloc(t *testing.T) {
+	g := benchGraph(t, 1024)
+	if err := g.Run(1024 * 8); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := g.Run(1024 * 8); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("sync scheduler steady state allocates: %v allocs/run, want 0", allocs)
+	}
+}
+
+// TestPipelinedAllocsPerRunFlat pins that pipelined-run allocation is a
+// function of the graph shape, not the stream length: a 16× longer stream
+// must not allocate more, because chunks ride preallocated ring buffers.
+func TestPipelinedAllocsPerRunFlat(t *testing.T) {
+	const chunk = 512
+	measure := func(total int) float64 {
+		g := benchGraph(t, chunk)
+		if _, err := g.RunPipelined(total, PipelineOptions{Depth: 2}); err != nil {
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(10, func() {
+			if _, err := g.RunPipelined(total, PipelineOptions{Depth: 2}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	short := measure(chunk * 2)
+	long := measure(chunk * 32)
+	// Scheduling jitter moves a few allocations (goroutine stacks, timer
+	// internals) between runs; the point is that 16× the chunks does not
+	// mean 16× the allocations.
+	if long > short*2+16 {
+		t.Fatalf("pipelined allocs grow with stream length: %v for %d chunks vs %v for %d chunks",
+			long, 32, short, 2)
+	}
+}

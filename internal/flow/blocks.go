@@ -6,9 +6,13 @@ import (
 	"repro/internal/core"
 	"repro/internal/dsp"
 	"repro/internal/impair"
+	"repro/internal/radio"
 )
 
-// Standard blocks for host-side flowgraphs.
+// Standard blocks for host-side flowgraphs. Every Work implementation
+// writes into the runtime-owned output buffers, so all of them are
+// allocation-free in steady state (VectorSink's append is the one amortized
+// exception — it retains the stream).
 
 // VectorSource replays a fixed buffer, cycling when it runs out (like GNU
 // Radio's vector_source with repeat=true) or padding zeros when repeat is
@@ -18,7 +22,6 @@ type VectorSource struct {
 	Data   dsp.Samples
 	Repeat bool
 	pos    int
-	hint   int
 }
 
 // Name implements Block.
@@ -35,32 +38,29 @@ func (v *VectorSource) Inputs() int { return 0 }
 // Outputs implements Block.
 func (v *VectorSource) Outputs() int { return 1 }
 
-// ChunkHint implements the source sizing contract.
-func (v *VectorSource) ChunkHint(n int) { v.hint = n }
-
 // Work implements Block.
-func (v *VectorSource) Work([]dsp.Samples) ([]dsp.Samples, error) {
-	out := make(dsp.Samples, v.hint)
-	for i := range out {
+func (v *VectorSource) Work(_, out []dsp.Samples) error {
+	dst := out[0]
+	for i := range dst {
 		if v.pos >= len(v.Data) {
-			if !v.Repeat {
-				break
+			if !v.Repeat || len(v.Data) == 0 {
+				for ; i < len(dst); i++ {
+					dst[i] = 0
+				}
+				return nil
 			}
 			v.pos = 0
 		}
-		if len(v.Data) > 0 {
-			out[i] = v.Data[v.pos]
-			v.pos++
-		}
+		dst[i] = v.Data[v.pos]
+		v.pos++
 	}
-	return []dsp.Samples{out}, nil
+	return nil
 }
 
 // NoiseSourceBlock emits WGN at a fixed power.
 type NoiseSourceBlock struct {
 	Label string
 	Src   *dsp.NoiseSource
-	hint  int
 }
 
 // Name implements Block.
@@ -77,15 +77,13 @@ func (n *NoiseSourceBlock) Inputs() int { return 0 }
 // Outputs implements Block.
 func (n *NoiseSourceBlock) Outputs() int { return 1 }
 
-// ChunkHint implements the source sizing contract.
-func (n *NoiseSourceBlock) ChunkHint(h int) { n.hint = h }
-
 // Work implements Block.
-func (n *NoiseSourceBlock) Work([]dsp.Samples) ([]dsp.Samples, error) {
+func (n *NoiseSourceBlock) Work(_, out []dsp.Samples) error {
 	if n.Src == nil {
-		return nil, fmt.Errorf("noise source not configured")
+		return fmt.Errorf("noise source not configured")
 	}
-	return []dsp.Samples{n.Src.Block(n.hint)}, nil
+	n.Src.Fill(out[0])
+	return nil
 }
 
 // Adder sums its two inputs.
@@ -101,10 +99,12 @@ func (Adder) Inputs() int { return 2 }
 func (Adder) Outputs() int { return 1 }
 
 // Work implements Block.
-func (Adder) Work(in []dsp.Samples) ([]dsp.Samples, error) {
-	out := in[0].Clone()
-	out.Add(in[1])
-	return []dsp.Samples{out}, nil
+func (Adder) Work(in, out []dsp.Samples) error {
+	a, b, dst := in[0], in[1], out[0]
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+	return nil
 }
 
 // Gain scales its input by a constant.
@@ -122,12 +122,12 @@ func (Gain) Inputs() int { return 1 }
 func (Gain) Outputs() int { return 1 }
 
 // Work implements Block.
-func (g Gain) Work(in []dsp.Samples) ([]dsp.Samples, error) {
-	out := make(dsp.Samples, len(in[0]))
-	for i, v := range in[0] {
-		out[i] = v * g.G
+func (g Gain) Work(in, out []dsp.Samples) error {
+	src, dst := in[0], out[0]
+	for i := range dst {
+		dst[i] = src[i] * g.G
 	}
-	return []dsp.Samples{out}, nil
+	return nil
 }
 
 // FIRBlock wraps a streaming dsp.FIR.
@@ -151,11 +151,12 @@ func (f *FIRBlock) Inputs() int { return 1 }
 func (f *FIRBlock) Outputs() int { return 1 }
 
 // Work implements Block.
-func (f *FIRBlock) Work(in []dsp.Samples) ([]dsp.Samples, error) {
+func (f *FIRBlock) Work(in, out []dsp.Samples) error {
 	if f.Filter == nil {
-		return nil, fmt.Errorf("FIR not configured")
+		return fmt.Errorf("FIR not configured")
 	}
-	return []dsp.Samples{f.Filter.Filter(in[0])}, nil
+	f.Filter.FilterInto(out[0], in[0])
+	return nil
 }
 
 // ImpairBlock wraps an impair.Chain front-end model.
@@ -173,14 +174,17 @@ func (ImpairBlock) Inputs() int { return 1 }
 func (ImpairBlock) Outputs() int { return 1 }
 
 // Work implements Block.
-func (b ImpairBlock) Work(in []dsp.Samples) ([]dsp.Samples, error) {
+func (b ImpairBlock) Work(in, out []dsp.Samples) error {
 	if b.Chain == nil {
-		return nil, fmt.Errorf("impairment chain not configured")
+		return fmt.Errorf("impairment chain not configured")
 	}
-	return []dsp.Samples{b.Chain.Process(in[0])}, nil
+	b.Chain.ProcessInto(out[0], in[0])
+	return nil
 }
 
-// CoreBlock runs the custom jammer DSP core: RX samples in, TX out.
+// CoreBlock runs the custom jammer DSP core through its fused single-pass
+// block path (DESIGN.md §11): RX samples in, TX out, bit-identical to
+// per-sample processing.
 type CoreBlock struct {
 	Core *core.Core
 }
@@ -195,11 +199,38 @@ func (CoreBlock) Inputs() int { return 1 }
 func (CoreBlock) Outputs() int { return 1 }
 
 // Work implements Block.
-func (b CoreBlock) Work(in []dsp.Samples) ([]dsp.Samples, error) {
+func (b CoreBlock) Work(in, out []dsp.Samples) error {
 	if b.Core == nil {
-		return nil, fmt.Errorf("core not configured")
+		return fmt.Errorf("core not configured")
 	}
-	return []dsp.Samples{b.Core.ProcessBuffer(in[0])}, nil
+	b.Core.ProcessBlock(in[0], out[0])
+	return nil
+}
+
+// RadioBlock runs the whole modeled N210 — front-end gains folded into the
+// core's fused quantization sweep — as one flowgraph stage: RX baseband in,
+// TX (jamming) output out. The radio must be started and run at the native
+// 25 MSPS (a DDC resampler would change the sample count, which a 1:1
+// streaming stage cannot express).
+type RadioBlock struct {
+	Radio *radio.N210
+}
+
+// Name implements Block.
+func (RadioBlock) Name() string { return "n210" }
+
+// Inputs implements Block.
+func (RadioBlock) Inputs() int { return 1 }
+
+// Outputs implements Block.
+func (RadioBlock) Outputs() int { return 1 }
+
+// Work implements Block.
+func (b RadioBlock) Work(in, out []dsp.Samples) error {
+	if b.Radio == nil {
+		return fmt.Errorf("radio not configured")
+	}
+	return b.Radio.ProcessInto(in[0], out[0])
 }
 
 // VectorSink collects everything it receives.
@@ -223,9 +254,9 @@ func (v *VectorSink) Inputs() int { return 1 }
 func (v *VectorSink) Outputs() int { return 0 }
 
 // Work implements Block.
-func (v *VectorSink) Work(in []dsp.Samples) ([]dsp.Samples, error) {
+func (v *VectorSink) Work(in, _ []dsp.Samples) error {
 	v.Data = append(v.Data, in[0]...)
-	return nil, nil
+	return nil
 }
 
 // Probe measures running power and peak without retaining samples.
@@ -251,7 +282,7 @@ func (p *Probe) Inputs() int { return 1 }
 func (p *Probe) Outputs() int { return 0 }
 
 // Work implements Block.
-func (p *Probe) Work(in []dsp.Samples) ([]dsp.Samples, error) {
+func (p *Probe) Work(in, _ []dsp.Samples) error {
 	for _, v := range in[0] {
 		e := real(v)*real(v) + imag(v)*imag(v)
 		p.Energy += e
@@ -260,7 +291,7 @@ func (p *Probe) Work(in []dsp.Samples) ([]dsp.Samples, error) {
 		}
 	}
 	p.Samples += len(in[0])
-	return nil, nil
+	return nil
 }
 
 // Power returns the mean power seen so far.

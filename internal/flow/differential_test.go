@@ -1,0 +1,232 @@
+package flow
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dsp"
+	"repro/internal/host"
+	"repro/internal/impair"
+	"repro/internal/jammer"
+	"repro/internal/trigger"
+)
+
+// The differential suite is the pipeline runtime's bit-exactness anchor:
+// every seeded graph is built twice from identical seeds — once per
+// scheduler — and the pipelined sink output must be ==-exact against the
+// synchronous reference at every chunk size and worker width. Stateful
+// blocks (noise RNGs, impairment oscillators, the jammer core) make any
+// reordering, dropped chunk, or torn buffer visible immediately.
+
+var (
+	diffChunks  = []int{1, 63, 64, 4096}
+	diffWorkers = []int{1, 2, 8}
+)
+
+// diffGraph is one seeded graph construction plus handles to its observable
+// state: the sink stream and any probe taps.
+type diffGraph struct {
+	g      *Graph
+	sinks  []*VectorSink
+	probes []*Probe
+}
+
+// seededBurst builds a deterministic on/off bursty waveform from seed.
+func seededBurst(n int, seed int64) dsp.Samples {
+	rng := rand.New(rand.NewSource(seed))
+	data := make(dsp.Samples, n)
+	for i := 0; i < n; {
+		gap := 100 + rng.Intn(400)
+		burst := 200 + rng.Intn(600)
+		amp := 0.2 + rng.Float64()*0.5
+		for j := 0; j < gap && i < n; j, i = j+1, i+1 {
+			data[i] = 0
+		}
+		for j := 0; j < burst && i < n; j, i = j+1, i+1 {
+			data[i] = complex(amp*rng.NormFloat64()*0.3+amp, amp*rng.NormFloat64()*0.3)
+		}
+	}
+	return data
+}
+
+// buildChainGraph is the paper's host datapath as a graph:
+// source → +noise → impairments (front end) → core → sink, with a fan-out
+// probe tap on the front end's output (two readers of one port).
+func buildChainGraph(t *testing.T, chunk int, seed int64) *diffGraph {
+	t.Helper()
+	c := core.New()
+	h := host.New(c)
+	if _, err := h.ProgramCorrelatorFA(host.WiFiShortTemplate(), 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.ProgramEnergy(10, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.ProgramTrigger(core.FusionAny,
+		[]trigger.Event{trigger.EventXCorr, trigger.EventEnergyHigh}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.ProgramJammer(host.Personality{
+		Waveform: jammer.WaveformWGN, Uptime: 10e3, Gain: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	g := NewGraph(chunk)
+	src := g.Add(&VectorSource{Label: "air", Data: seededBurst(6000, seed), Repeat: true})
+	noise := g.Add(&NoiseSourceBlock{Src: dsp.NewNoiseSource(1e-4, seed+1)})
+	add := g.Add(Adder{})
+	front := g.Add(ImpairBlock{Chain: impair.New(impair.TypicalUSRP(2.484e9, 25e6, seed+2))})
+	probe := &Probe{Label: "rx-tap"}
+	pb := g.Add(probe)
+	jam := g.Add(CoreBlock{Core: c})
+	sink := &VectorSink{}
+	sk := g.Add(sink)
+	for _, w := range []struct{ s, sp, d, dp int }{
+		{src, 0, add, 0}, {noise, 0, add, 1}, {add, 0, front, 0},
+		{front, 0, pb, 0}, {front, 0, jam, 0}, {jam, 0, sk, 0},
+	} {
+		if err := g.Connect(w.s, w.sp, w.d, w.dp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &diffGraph{g: g, sinks: []*VectorSink{sink}, probes: []*Probe{probe}}
+}
+
+// buildFanGraph stresses topology: two sources into an adder, the adder
+// fanning out to a gain chain, a FIR branch, and a probe, with two sinks.
+func buildFanGraph(t *testing.T, chunk int, seed int64) *diffGraph {
+	t.Helper()
+	g := NewGraph(chunk)
+	a := g.Add(&VectorSource{Label: "a", Data: seededBurst(3000, seed), Repeat: true})
+	b := g.Add(&NoiseSourceBlock{Src: dsp.NewNoiseSource(0.01, seed+3)})
+	add := g.Add(Adder{})
+	gain := g.Add(Gain{G: complex(0.5, 0.25)})
+	fir := g.Add(&FIRBlock{Filter: dsp.NewFIR(dsp.LowpassTaps(9, 0.2))})
+	probe := &Probe{}
+	pb := g.Add(probe)
+	s1, s2 := &VectorSink{Label: "gain-sink"}, &VectorSink{Label: "fir-sink"}
+	k1 := g.Add(s1)
+	k2 := g.Add(s2)
+	for _, w := range []struct{ s, sp, d, dp int }{
+		{a, 0, add, 0}, {b, 0, add, 1},
+		{add, 0, gain, 0}, {add, 0, fir, 0}, {add, 0, pb, 0},
+		{gain, 0, k1, 0}, {fir, 0, k2, 0},
+	} {
+		if err := g.Connect(w.s, w.sp, w.d, w.dp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &diffGraph{g: g, sinks: []*VectorSink{s1, s2}, probes: []*Probe{probe}}
+}
+
+// diffCompare runs the same seeded construction through both schedulers and
+// requires ==-exact sink streams and probe state.
+func diffCompare(t *testing.T, name string, total int,
+	build func(t *testing.T, chunk int, seed int64) *diffGraph) {
+	t.Helper()
+	const seed = 42
+	for _, chunk := range diffChunks {
+		ref := build(t, chunk, seed)
+		if err := ref.g.Run(total); err != nil {
+			t.Fatalf("%s chunk %d: sync run: %v", name, chunk, err)
+		}
+		for _, workers := range diffWorkers {
+			pip := build(t, chunk, seed)
+			stats, err := pip.g.RunPipelined(total, PipelineOptions{Workers: workers})
+			if err != nil {
+				t.Fatalf("%s chunk %d workers %d: pipelined run: %v", name, chunk, workers, err)
+			}
+			label := fmt.Sprintf("%s chunk %d workers %d", name, chunk, workers)
+			for si := range ref.sinks {
+				r, p := ref.sinks[si].Data, pip.sinks[si].Data
+				if len(r) != total || len(p) != total {
+					t.Fatalf("%s: sink %d lengths sync %d / pipelined %d, want %d",
+						label, si, len(r), len(p), total)
+				}
+				for i := range r {
+					if r[i] != p[i] {
+						t.Fatalf("%s: sink %d sample %d: sync %v, pipelined %v",
+							label, si, i, r[i], p[i])
+					}
+				}
+			}
+			for pi := range ref.probes {
+				r, p := ref.probes[pi], pip.probes[pi]
+				if r.Samples != p.Samples || r.Energy != p.Energy || r.Peak != p.Peak {
+					t.Fatalf("%s: probe %d diverges: sync {%d %v %v}, pipelined {%d %v %v}",
+						label, pi, r.Samples, r.Energy, r.Peak, p.Samples, p.Energy, p.Peak)
+				}
+			}
+			// Conservation: every edge's ring must have passed exactly
+			// ceil(total/chunk) chunks, all popped.
+			wantChunks := uint64((total + chunk - 1) / chunk)
+			for _, e := range stats.Edges {
+				if e.Queue.Pushes != wantChunks || e.Queue.Pops != wantChunks {
+					t.Fatalf("%s: edge %s→%s carried %d/%d chunks, want %d",
+						label, e.From, e.To, e.Queue.Pushes, e.Queue.Pops, wantChunks)
+				}
+			}
+		}
+	}
+}
+
+func TestPipelineMatchesSyncDatapathGraph(t *testing.T) {
+	total := 12000
+	if testing.Short() {
+		total = 3000
+	}
+	diffCompare(t, "datapath", total, buildChainGraph)
+}
+
+func TestPipelineMatchesSyncFanGraph(t *testing.T) {
+	diffCompare(t, "fan", 10000, buildFanGraph)
+}
+
+// TestPipelineMatchesSyncAcrossDepths pins that ring depth is invisible to
+// the output: depth changes scheduling, never data.
+func TestPipelineMatchesSyncAcrossDepths(t *testing.T) {
+	const total = 5000
+	ref := buildChainGraph(t, 256, 7)
+	if err := ref.g.Run(total); err != nil {
+		t.Fatal(err)
+	}
+	for _, depth := range []int{1, 2, 16} {
+		pip := buildChainGraph(t, 256, 7)
+		if _, err := pip.g.RunPipelined(total, PipelineOptions{Depth: depth}); err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		for i := range ref.sinks[0].Data {
+			if ref.sinks[0].Data[i] != pip.sinks[0].Data[i] {
+				t.Fatalf("depth %d: sample %d diverges", depth, i)
+			}
+		}
+	}
+}
+
+// TestPipelineRadioBlockMatchesSync runs the full modeled N210 (gains folded
+// into the fused quantize sweep) as a pipeline stage and compares schedulers.
+func TestPipelineRadioBlockMatchesSync(t *testing.T) {
+	build := func(t *testing.T, chunk int, seed int64) *diffGraph {
+		t.Helper()
+		mk := func() *diffGraph {
+			r := radioForTest(t)
+			g := NewGraph(chunk)
+			src := g.Add(&VectorSource{Data: seededBurst(4000, seed), Repeat: true})
+			rb := g.Add(RadioBlock{Radio: r})
+			sink := &VectorSink{}
+			sk := g.Add(sink)
+			if err := g.Connect(src, 0, rb, 0); err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Connect(rb, 0, sk, 0); err != nil {
+				t.Fatal(err)
+			}
+			return &diffGraph{g: g, sinks: []*VectorSink{sink}}
+		}
+		return mk()
+	}
+	diffCompare(t, "radio", 8000, build)
+}

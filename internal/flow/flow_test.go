@@ -51,6 +51,27 @@ func TestNonRepeatingSourcePads(t *testing.T) {
 	}
 }
 
+// TestSourceOverwritesReusedBuffer pins the reused-buffer contract: an
+// exhausted non-repeating source must zero its whole output even though the
+// runtime hands it a dirty buffer from an earlier chunk.
+func TestSourceOverwritesReusedBuffer(t *testing.T) {
+	g := NewGraph(4)
+	src := g.Add(&VectorSource{Data: dsp.Samples{9, 9, 9, 9}})
+	sink := &VectorSink{}
+	sk := g.Add(sink)
+	if err := g.Connect(src, 0, sk, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Run(12); err != nil {
+		t.Fatal(err)
+	}
+	for i := 4; i < 12; i++ {
+		if sink.Data[i] != 0 {
+			t.Fatalf("sample %d = %v, want 0 (stale buffer leaked through)", i, sink.Data[i])
+		}
+	}
+}
+
 func TestAdderAndGain(t *testing.T) {
 	g := NewGraph(16)
 	a := g.Add(&VectorSource{Label: "a", Data: dsp.Samples{1}, Repeat: true})
@@ -96,15 +117,21 @@ func TestValidationErrors(t *testing.T) {
 	if err := g.Connect(src, 0, add, 0); err == nil {
 		t.Error("double connection accepted")
 	}
-	// Run with add's second input unconnected: must fail.
+	// Run with add's second input unconnected: must fail, on both schedulers.
 	if err := g.Connect(add, 0, sink, 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := g.Run(8); err == nil || !strings.Contains(err.Error(), "unconnected") {
 		t.Errorf("unconnected input not caught: %v", err)
 	}
+	if _, err := g.RunPipelined(8, PipelineOptions{}); err == nil || !strings.Contains(err.Error(), "unconnected") {
+		t.Errorf("pipelined: unconnected input not caught: %v", err)
+	}
 	if err := g.Run(0); err == nil {
 		t.Error("zero samples accepted")
+	}
+	if _, err := g.RunPipelined(0, PipelineOptions{}); err == nil {
+		t.Error("pipelined: zero samples accepted")
 	}
 }
 
@@ -120,14 +147,20 @@ func TestCycleDetection(t *testing.T) {
 	_ = g.Connect(gain, 0, add, 1)
 	_ = g.Connect(add, 0, gain, 0) // cycle: add -> gain -> add
 	_ = g.Connect(gain, 0, sink, 0)
-	err := g.Run(8)
-	if err == nil {
-		t.Fatal("cycle not detected")
-	}
-	// Either the cycle or the double-output connection triggers — both are
-	// config errors; require the cycle message when reachable.
-	if !strings.Contains(err.Error(), "cycle") && !strings.Contains(err.Error(), "unconnected") {
-		t.Errorf("unexpected error: %v", err)
+	for name, run := range map[string]func() error{
+		"sync": func() error { return g.Run(8) },
+		"pipelined": func() error {
+			_, err := g.RunPipelined(8, PipelineOptions{})
+			return err
+		},
+	} {
+		err := run()
+		if err == nil {
+			t.Fatalf("%s: cycle not detected", name)
+		}
+		if !strings.Contains(err.Error(), "cycle") && !strings.Contains(err.Error(), "unconnected") {
+			t.Errorf("%s: unexpected error: %v", name, err)
+		}
 	}
 }
 
@@ -207,7 +240,7 @@ func TestJammerHostFlowgraph(t *testing.T) {
 func TestBlockNames(t *testing.T) {
 	blocks := []Block{
 		&VectorSource{}, &NoiseSourceBlock{}, Adder{}, Gain{},
-		&FIRBlock{}, ImpairBlock{}, CoreBlock{}, &VectorSink{}, &Probe{},
+		&FIRBlock{}, ImpairBlock{}, CoreBlock{}, RadioBlock{}, &VectorSink{}, &Probe{},
 	}
 	for _, b := range blocks {
 		if b.Name() == "" {
@@ -220,12 +253,16 @@ func TestBlockNames(t *testing.T) {
 }
 
 func TestUnconfiguredBlocksFail(t *testing.T) {
-	for _, b := range []Block{&NoiseSourceBlock{}, &FIRBlock{}, ImpairBlock{}, CoreBlock{}} {
+	for _, b := range []Block{&NoiseSourceBlock{}, &FIRBlock{}, ImpairBlock{}, CoreBlock{}, RadioBlock{}} {
 		in := make([]dsp.Samples, b.Inputs())
 		for i := range in {
 			in[i] = make(dsp.Samples, 4)
 		}
-		if _, err := b.Work(in); err == nil {
+		out := make([]dsp.Samples, b.Outputs())
+		for i := range out {
+			out[i] = make(dsp.Samples, 4)
+		}
+		if err := b.Work(in, out); err == nil {
 			t.Errorf("%s accepted work while unconfigured", b.Name())
 		}
 	}

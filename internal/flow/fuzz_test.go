@@ -1,0 +1,102 @@
+package flow
+
+import (
+	"testing"
+
+	"repro/internal/dsp"
+)
+
+// fuzzTopology decodes an arbitrary byte string into a graph construction:
+// a chunk size, a set of blocks, and a set of Connect calls (legal or not).
+// The same bytes always build the same graph, so the fuzzer can also run it
+// differentially across both schedulers. Returned alongside are the sinks
+// for output comparison.
+//
+// Encoding: byte 0 selects the chunk size, byte 1 the block count (1–6),
+// then one byte per block selects its kind, and every following group of 4
+// bytes is one Connect(src, srcPort, dst, dstPort) attempt. Ports are taken
+// mod 4 so out-of-range ports (rejection paths) stay reachable.
+func fuzzTopology(data []byte) (*Graph, []*VectorSink) {
+	chunks := []int{1, 3, 64, 257}
+	if len(data) < 2 {
+		return NewGraph(64), nil
+	}
+	g := NewGraph(chunks[int(data[0])%len(chunks)])
+	nBlocks := 1 + int(data[1])%6
+	data = data[2:]
+	var sinks []*VectorSink
+	for i := 0; i < nBlocks; i++ {
+		var kind byte
+		if len(data) > 0 {
+			kind = data[0]
+			data = data[1:]
+		}
+		switch kind % 6 {
+		case 0:
+			g.Add(&VectorSource{Data: dsp.Samples{complex(float64(kind), 1), 2, 3i}, Repeat: kind%2 == 0})
+		case 1:
+			g.Add(&NoiseSourceBlock{Src: dsp.NewNoiseSource(0.5, int64(kind))})
+		case 2:
+			g.Add(Adder{})
+		case 3:
+			g.Add(Gain{G: complex(float64(kind%7), -1)})
+		case 4:
+			s := &VectorSink{}
+			sinks = append(sinks, s)
+			g.Add(s)
+		case 5:
+			g.Add(&Probe{})
+		}
+	}
+	for len(data) >= 4 {
+		// Connect must reject bad wiring with an error, never panic; legal
+		// calls are kept.
+		_ = g.Connect(int(data[0])%nBlocks, int(data[1])%4, int(data[2])%nBlocks, int(data[3])%4)
+		data = data[4:]
+	}
+	return g, sinks
+}
+
+// FuzzGraphTopology throws random block/edge sets at both schedulers:
+// construction and execution must never panic — cycles, unconnected inputs
+// and port mismatches all surface as errors — and whenever the topology is
+// runnable at all, the pipelined output must be bit-identical to the
+// synchronous reference (the graph is rebuilt from the same bytes for each
+// scheduler, so all block state is freshly seeded both times).
+func FuzzGraphTopology(f *testing.F) {
+	f.Add([]byte("\x01\x02\x00\x03\x04\x00\x00\x01\x00\x01\x00\x02\x00"))                                         // source→gain→sink chain
+	f.Add([]byte("\x03\x04\x00\x01\x02\x04\x05\x00\x00\x02\x00\x01\x00\x02\x01\x02\x00\x03\x00\x02\x00\x04\x00")) // adder fan-out to sink+probe
+	f.Add([]byte("\x00\x02\x03\x03\x04\x00\x00\x01\x00\x01\x00\x00\x00\x01\x00\x02\x00"))                         // gain↔gain cycle
+	f.Add([]byte("\x02\x02\x00\x02\x04\x00\x00\x01\x00\x01\x00\x02\x00"))                                         // adder with input 1 unconnected
+	f.Add([]byte("\x01\x01\x00\x04\x00\x02\x01\x01"))                                                             // port out of range
+	f.Add([]byte{})                                                                                               // empty input
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const total = 200
+		ref, refSinks := fuzzTopology(data)
+		refErr := ref.Run(total)
+
+		pip, pipSinks := fuzzTopology(data)
+		_, pipErr := pip.RunPipelined(total, PipelineOptions{Depth: 2, Workers: 2})
+
+		if (refErr == nil) != (pipErr == nil) {
+			t.Fatalf("schedulers disagree: sync err=%v, pipelined err=%v", refErr, pipErr)
+		}
+		if refErr != nil {
+			return
+		}
+		if len(refSinks) != len(pipSinks) {
+			t.Fatalf("sink counts diverge: %d vs %d", len(refSinks), len(pipSinks))
+		}
+		for si := range refSinks {
+			r, p := refSinks[si].Data, pipSinks[si].Data
+			if len(r) != total || len(p) != total {
+				t.Fatalf("sink %d lengths %d/%d, want %d", si, len(r), len(p), total)
+			}
+			for i := range r {
+				if r[i] != p[i] {
+					t.Fatalf("sink %d sample %d: sync %v, pipelined %v", si, i, r[i], p[i])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,289 @@
+package flow
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/dsp"
+	"repro/internal/telemetry"
+)
+
+// PipelineOptions tunes the streaming pipeline scheduler. The zero value is
+// ready to use.
+type PipelineOptions struct {
+	// Depth is the ring capacity of every edge in chunks (default 4,
+	// minimum 1). Deeper rings absorb burstier stage timings at the cost of
+	// memory and latency; depth 1 is full lock-step.
+	Depth int
+	// Workers caps how many blocks may execute Work simultaneously (0 = one
+	// per block, uncapped). Every block still runs on its own goroutine and
+	// chunks still flow through the rings in stream order, so the output is
+	// bit-identical at any width — the cap only bounds CPU concurrency.
+	Workers int
+}
+
+// EdgeStat reports one edge's ring telemetry after a pipelined run.
+type EdgeStat struct {
+	// From and To name the endpoints as "block:port".
+	From, To string
+	// Queue is the edge ring's counter snapshot. ProducerStalls are
+	// backpressure events (downstream ran behind), ConsumerStalls are
+	// starvation events (upstream ran behind).
+	Queue telemetry.QueueSnapshot
+}
+
+// PipelineStats is the per-edge telemetry of one pipelined run.
+type PipelineStats struct {
+	Edges []EdgeStat
+}
+
+// TotalStalls sums producer- and consumer-side stalls across all edges.
+func (s *PipelineStats) TotalStalls() (producer, consumer uint64) {
+	for _, e := range s.Edges {
+		producer += e.Queue.ProducerStalls
+		consumer += e.Queue.ConsumerStalls
+	}
+	return producer, consumer
+}
+
+// pipeRun is the shared state of one pipelined execution.
+type pipeRun struct {
+	g     *Graph
+	total int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	sem    chan struct{} // Workers cap; nil = uncapped
+
+	// rings[ei] carries edge ei's chunks; inRing/outRings resolve them per
+	// block from the validated plan.
+	rings    []*ring
+	inRing   [][]*ring
+	outRings [][][]*ring
+
+	wg      sync.WaitGroup
+	errOnce sync.Once
+	err     error
+}
+
+// fail records the first error and cancels the run.
+func (r *pipeRun) fail(err error) {
+	r.errOnce.Do(func() {
+		r.err = err
+		r.cancel()
+	})
+}
+
+// RunPipelined executes the graph on the streaming pipeline runtime for
+// totalSamples per source: one goroutine per block, bounded SPSC chunk rings
+// on every edge, backpressure when a ring fills. The sink output is
+// bit-for-bit identical to the synchronous Run. The returned stats carry
+// every edge's occupancy and stall counters (also valid after an error).
+func (g *Graph) RunPipelined(totalSamples int, opts PipelineOptions) (*PipelineStats, error) {
+	return g.RunPipelinedContext(context.Background(), totalSamples, opts)
+}
+
+// RunPipelinedContext is RunPipelined with cancellation: when ctx is
+// cancelled every stage unwinds promptly (mid-chunk work completes, blocked
+// ring operations abort) and no goroutine outlives the call.
+func (g *Graph) RunPipelinedContext(ctx context.Context, totalSamples int, opts PipelineOptions) (*PipelineStats, error) {
+	if totalSamples <= 0 {
+		return &PipelineStats{}, fmt.Errorf("flow: totalSamples must be positive")
+	}
+	p, err := g.ensurePlan()
+	if err != nil {
+		return &PipelineStats{}, err
+	}
+	depth := opts.Depth
+	if depth <= 0 {
+		depth = 4
+	}
+	r := &pipeRun{g: g, total: totalSamples}
+	r.ctx, r.cancel = context.WithCancel(ctx)
+	defer r.cancel()
+	if opts.Workers > 0 {
+		r.sem = make(chan struct{}, opts.Workers)
+	}
+	r.rings = make([]*ring, len(g.edges))
+	for ei := range g.edges {
+		r.rings[ei] = newRing(depth, g.chunk)
+	}
+	r.inRing = make([][]*ring, len(g.blocks))
+	r.outRings = make([][][]*ring, len(g.blocks))
+	for bi, b := range g.blocks {
+		r.inRing[bi] = make([]*ring, b.Inputs())
+		for pi := range r.inRing[bi] {
+			r.inRing[bi][pi] = r.rings[p.inEdge[bi][pi]]
+		}
+		r.outRings[bi] = make([][]*ring, b.Outputs())
+		for pi := range r.outRings[bi] {
+			for _, ei := range p.outEdges[bi][pi] {
+				r.outRings[bi][pi] = append(r.outRings[bi][pi], r.rings[ei])
+			}
+		}
+	}
+
+	r.wg.Add(len(g.blocks))
+	for bi := range g.blocks {
+		go r.stage(bi)
+	}
+	r.wg.Wait()
+
+	stats := &PipelineStats{Edges: make([]EdgeStat, len(g.edges))}
+	for ei, e := range g.edges {
+		stats.Edges[ei] = EdgeStat{
+			From:  fmt.Sprintf("%s:%d", g.blocks[e.from.block].Name(), e.from.idx),
+			To:    fmt.Sprintf("%s:%d", g.blocks[e.to.block].Name(), e.to.idx),
+			Queue: r.rings[ei].q.Snapshot(),
+		}
+	}
+	if r.err != nil {
+		return stats, r.err
+	}
+	if err := ctx.Err(); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// closeOuts propagates EOF: the stage closes every ring it produces into.
+func (r *pipeRun) closeOuts(bi int) {
+	for _, fan := range r.outRings[bi] {
+		for _, rg := range fan {
+			rg.close()
+		}
+	}
+}
+
+// stage is the per-block goroutine: pop one chunk per input (or mint one,
+// for sources), acquire one output buffer per outgoing edge, run Work,
+// fan out, recycle, repeat until EOF, error, or cancellation.
+func (r *pipeRun) stage(bi int) {
+	defer r.wg.Done()
+	b := r.g.blocks[bi]
+	nIn, nOut := b.Inputs(), b.Outputs()
+	ins := make([]dsp.Samples, nIn)
+	outs := make([]dsp.Samples, nOut)
+	// slots holds the acquired downstream buffers per output port; the first
+	// subscriber's buffer doubles as the Work output, the rest receive
+	// copies. An output port nobody reads still needs somewhere for the
+	// block to write: a private scratch buffer.
+	slots := make([][]dsp.Samples, nOut)
+	var scratch []dsp.Samples
+	for pi := range slots {
+		slots[pi] = make([]dsp.Samples, len(r.outRings[bi][pi]))
+		if len(slots[pi]) == 0 {
+			if scratch == nil {
+				scratch = make([]dsp.Samples, nOut)
+			}
+			scratch[pi] = make(dsp.Samples, r.g.chunk)
+		}
+	}
+
+	remaining := r.total
+	for {
+		// Establish the chunk length n and gather inputs.
+		var n int
+		if nIn == 0 {
+			if remaining == 0 {
+				r.closeOuts(bi)
+				return
+			}
+			n = r.g.chunk
+			if remaining < n {
+				n = remaining
+			}
+			remaining -= n
+		} else {
+			eofAt := -1
+			for pi := 0; pi < nIn; pi++ {
+				buf, ok, eof := r.inRing[bi][pi].pop(r.ctx)
+				if !ok {
+					return // cancelled
+				}
+				if eof {
+					eofAt = pi
+					break
+				}
+				ins[pi] = buf
+			}
+			if eofAt >= 0 {
+				// All inputs must end on the same chunk: every stream in the
+				// graph carries the same per-source sample budget. A port
+				// that already delivered data, or that still holds more,
+				// means the graph broke that invariant.
+				if eofAt > 0 {
+					r.fail(fmt.Errorf("flow: block %s: input %d outlives input %d", b.Name(), 0, eofAt))
+					return
+				}
+				for pi := 1; pi < nIn; pi++ {
+					if _, ok, eof := r.inRing[bi][pi].pop(r.ctx); !ok {
+						return
+					} else if !eof {
+						r.fail(fmt.Errorf("flow: block %s: input %d outlives input %d", b.Name(), pi, eofAt))
+						return
+					}
+				}
+				r.closeOuts(bi)
+				return
+			}
+			n = len(ins[0])
+			for pi := 1; pi < nIn; pi++ {
+				if len(ins[pi]) != n {
+					r.fail(fmt.Errorf("flow: block %s: chunk length mismatch (%d vs %d)",
+						b.Name(), len(ins[pi]), n))
+					return
+				}
+			}
+		}
+
+		// Acquire one downstream buffer per outgoing edge; this is where
+		// backpressure stalls the stage when a consumer runs behind.
+		for pi := 0; pi < nOut; pi++ {
+			if len(slots[pi]) == 0 {
+				outs[pi] = scratch[pi][:n]
+				continue
+			}
+			for j, rg := range r.outRings[bi][pi] {
+				buf, ok := rg.acquire(r.ctx, n)
+				if !ok {
+					return // cancelled
+				}
+				slots[pi][j] = buf
+			}
+			outs[pi] = slots[pi][0]
+		}
+
+		// Execute, bounded by the worker cap when one is set.
+		if r.sem != nil {
+			select {
+			case r.sem <- struct{}{}:
+			case <-r.ctx.Done():
+				return
+			}
+		}
+		err := b.Work(ins, outs)
+		if r.sem != nil {
+			<-r.sem
+		}
+		if err != nil {
+			r.fail(fmt.Errorf("flow: block %s: %w", b.Name(), err))
+			return
+		}
+
+		// Fan out (extra subscribers get copies) and hand chunks downstream,
+		// then recycle the consumed inputs upstream.
+		for pi := 0; pi < nOut; pi++ {
+			for j, rg := range r.outRings[bi][pi] {
+				if j > 0 {
+					copy(slots[pi][j], outs[pi])
+				}
+				rg.push(slots[pi][j])
+			}
+		}
+		for pi := 0; pi < nIn; pi++ {
+			r.inRing[bi][pi].recycle(ins[pi])
+		}
+	}
+}

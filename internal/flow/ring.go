@@ -1,0 +1,97 @@
+package flow
+
+import (
+	"context"
+
+	"repro/internal/dsp"
+	"repro/internal/telemetry"
+)
+
+// ring is the bounded single-producer/single-consumer chunk queue on one
+// graph edge. All `depth` chunk buffers are allocated up front and recycle
+// between the free list and the full queue for the life of the run, so the
+// steady-state hot path allocates nothing: the producer acquires an empty
+// buffer (blocking when the consumer is behind — that is the backpressure),
+// fills it, and pushes; the consumer pops, reads, and recycles.
+//
+// Both channels have capacity `depth` and at most `depth` buffers exist, so
+// a push or a recycle can never block — only acquire (producer side) and pop
+// (consumer side) wait, and both give up when the run is cancelled. EOF is
+// the producer closing `full` after its last push.
+type ring struct {
+	full chan dsp.Samples // filled chunks, in stream order
+	free chan dsp.Samples // recycled empty buffers
+	q    telemetry.QueueCounters
+}
+
+func newRing(depth, chunk int) *ring {
+	r := &ring{
+		full: make(chan dsp.Samples, depth),
+		free: make(chan dsp.Samples, depth),
+	}
+	for i := 0; i < depth; i++ {
+		r.free <- make(dsp.Samples, chunk)
+	}
+	return r
+}
+
+// acquire obtains an empty chunk buffer of length n, blocking while every
+// buffer is queued downstream (backpressure). ok is false when the run was
+// cancelled first.
+func (r *ring) acquire(ctx context.Context, n int) (buf dsp.Samples, ok bool) {
+	select {
+	case buf = <-r.free:
+		return buf[:n], true
+	default:
+	}
+	r.q.ProducerStalls.Add(1)
+	select {
+	case buf = <-r.free:
+		return buf[:n], true
+	case <-ctx.Done():
+		return nil, false
+	}
+}
+
+// push queues a filled buffer previously obtained from acquire. It never
+// blocks (see the type comment for why).
+func (r *ring) push(buf dsp.Samples) {
+	r.full <- buf
+	r.q.NotePush(len(r.full))
+}
+
+// pop takes the next chunk in stream order, blocking while the queue is
+// empty. eof reports that the producer closed the ring; ok is false when the
+// run was cancelled first.
+func (r *ring) pop(ctx context.Context) (buf dsp.Samples, ok, eof bool) {
+	select {
+	case buf, open := <-r.full:
+		if !open {
+			return nil, true, true
+		}
+		r.q.NotePop()
+		return buf, true, false
+	default:
+	}
+	r.q.ConsumerStalls.Add(1)
+	select {
+	case buf, open := <-r.full:
+		if !open {
+			return nil, true, true
+		}
+		r.q.NotePop()
+		return buf, true, false
+	case <-ctx.Done():
+		return nil, false, false
+	}
+}
+
+// recycle returns a popped buffer to the free list. It never blocks.
+func (r *ring) recycle(buf dsp.Samples) {
+	r.free <- buf[:cap(buf)]
+}
+
+// close marks end of stream. Only the producer calls it, exactly once.
+func (r *ring) close() {
+	close(r.full)
+}

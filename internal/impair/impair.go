@@ -118,10 +118,17 @@ func (c *Chain) ProcessSample(x complex128) complex128 {
 // Process applies the chain to a whole buffer, returning a new buffer.
 func (c *Chain) Process(x dsp.Samples) dsp.Samples {
 	out := make(dsp.Samples, len(x))
-	for i, v := range x {
-		out[i] = c.ProcessSample(v)
-	}
+	c.ProcessInto(out, x)
 	return out
+}
+
+// ProcessInto runs x through the chain into dst (which must be at least
+// len(x) long) without allocating. dst and x may alias: each output sample
+// is written only after its input sample has been consumed.
+func (c *Chain) ProcessInto(dst, x dsp.Samples) {
+	for i, v := range x {
+		dst[i] = c.ProcessSample(v)
+	}
 }
 
 // TypicalUSRP returns impairments representative of two free-running

@@ -1,0 +1,67 @@
+package telemetry
+
+import "sync/atomic"
+
+// QueueCounters instruments one bounded stream queue — a flowgraph edge ring
+// in practice. Producers and consumers touch disjoint counters with single
+// atomic adds, so the instrumentation is safe (and cheap) on the streaming
+// hot path, and a concurrent observer can Snapshot at any time.
+//
+// The stall counters are the backpressure signal: ProducerStalls counts
+// pushes that found the queue full and had to wait for downstream to drain,
+// ConsumerStalls counts pops that found it empty and had to wait for
+// upstream to produce. A healthy pipeline shows stalls concentrated on the
+// edge feeding its slowest stage.
+//
+// QueueCounters must not be copied once in use.
+type QueueCounters struct {
+	// Pushes and Pops count chunks through the queue.
+	Pushes atomic.Uint64
+	Pops   atomic.Uint64
+	// ProducerStalls counts pushes that blocked on a full queue.
+	ProducerStalls atomic.Uint64
+	// ConsumerStalls counts pops that blocked on an empty queue.
+	ConsumerStalls atomic.Uint64
+	// OccupancyHW is the high-water occupancy (chunks queued) ever observed
+	// at a push.
+	OccupancyHW atomic.Uint64
+}
+
+// NotePush records a completed push observing occ chunks queued (including
+// the one just pushed), updating the high-water mark.
+func (q *QueueCounters) NotePush(occ int) {
+	q.Pushes.Add(1)
+	o := uint64(occ)
+	for {
+		hw := q.OccupancyHW.Load()
+		if o <= hw || q.OccupancyHW.CompareAndSwap(hw, o) {
+			return
+		}
+	}
+}
+
+// NotePop records a completed pop.
+func (q *QueueCounters) NotePop() { q.Pops.Add(1) }
+
+// QueueSnapshot is a plain-value copy of a queue's counters.
+type QueueSnapshot struct {
+	Pushes         uint64
+	Pops           uint64
+	ProducerStalls uint64
+	ConsumerStalls uint64
+	OccupancyHW    uint64
+}
+
+// Snapshot returns a point-in-time copy of the counters. Taken while the
+// queue is active it is a consistent-enough view for monitoring (each field
+// is independently atomic); taken after the pipeline has drained it is
+// exact.
+func (q *QueueCounters) Snapshot() QueueSnapshot {
+	return QueueSnapshot{
+		Pushes:         q.Pushes.Load(),
+		Pops:           q.Pops.Load(),
+		ProducerStalls: q.ProducerStalls.Load(),
+		ConsumerStalls: q.ConsumerStalls.Load(),
+		OccupancyHW:    q.OccupancyHW.Load(),
+	}
+}

@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestQueueCountersSnapshot(t *testing.T) {
+	var q QueueCounters
+	q.NotePush(1)
+	q.NotePush(3)
+	q.NotePush(2) // lower than high water: must not regress the mark
+	q.NotePop()
+	q.ProducerStalls.Add(2)
+	q.ConsumerStalls.Add(1)
+	s := q.Snapshot()
+	want := QueueSnapshot{Pushes: 3, Pops: 1, ProducerStalls: 2, ConsumerStalls: 1, OccupancyHW: 3}
+	if s != want {
+		t.Fatalf("snapshot %+v, want %+v", s, want)
+	}
+}
+
+// TestQueueCountersConcurrent drives the counters from concurrent producer
+// and consumer goroutines while an observer snapshots, as the pipeline
+// runtime does; run under -race this is the safety proof, and the final
+// snapshot must account for every operation exactly.
+func TestQueueCountersConcurrent(t *testing.T) {
+	var q QueueCounters
+	const n = 1000
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			q.NotePush(i % 7)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			q.NotePop()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			_ = q.Snapshot()
+		}
+	}()
+	wg.Wait()
+	s := q.Snapshot()
+	if s.Pushes != n || s.Pops != n {
+		t.Fatalf("lost operations: %+v", s)
+	}
+	if s.OccupancyHW != 6 {
+		t.Fatalf("high water %d, want 6", s.OccupancyHW)
+	}
+}
